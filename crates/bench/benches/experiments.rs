@@ -1,0 +1,173 @@
+//! One Criterion group per paper table/figure: times the full
+//! regeneration of each artifact at bench scale. The first iteration of
+//! each group also prints the regenerated rows (so `cargo bench`
+//! reproduces the paper's numbers as a side effect).
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use jouppi_bench::bench_config;
+use jouppi_experiments::{
+    conflict_sweep, fig_2_2, fig_3_1, fig_4_1, fig_5_1, overlap, stream_geometry, stream_sweep,
+    tables, victim_geometry,
+};
+
+fn print_once(once: &Once, text: impl FnOnce() -> String) {
+    once.call_once(|| println!("\n{}\n", text()));
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let cfg = bench_config();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || tables::table_1_1().render());
+    c.bench_function("table_1_1", |b| b.iter(|| black_box(tables::table_1_1())));
+    c.bench_function("table_2_1", |b| {
+        b.iter(|| black_box(tables::table_2_1(&cfg)))
+    });
+    c.bench_function("table_2_2/baseline_miss_rates", |b| {
+        b.iter(|| black_box(tables::table_2_2(&cfg)))
+    });
+}
+
+fn bench_fig_2_2(c: &mut Criterion) {
+    let cfg = bench_config();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || fig_2_2::run(&cfg).render());
+    c.bench_function("fig_2_2/baseline_performance", |b| {
+        b.iter(|| black_box(fig_2_2::run(&cfg)))
+    });
+}
+
+fn bench_fig_3_1(c: &mut Criterion) {
+    let cfg = bench_config();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || fig_3_1::run(&cfg).render());
+    c.bench_function("fig_3_1/conflict_fractions", |b| {
+        b.iter(|| black_box(fig_3_1::run(&cfg)))
+    });
+}
+
+fn bench_conflict_sweeps(c: &mut Criterion) {
+    let cfg = bench_config();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || {
+        conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 4).render()
+    });
+    c.bench_function("fig_3_3/miss_cache_sweep", |b| {
+        b.iter(|| black_box(conflict_sweep::run(&cfg, conflict_sweep::Mechanism::MissCache, 4)))
+    });
+    c.bench_function("fig_3_5/victim_cache_sweep", |b| {
+        b.iter(|| {
+            black_box(conflict_sweep::run(
+                &cfg,
+                conflict_sweep::Mechanism::VictimCache,
+                4,
+            ))
+        })
+    });
+}
+
+fn bench_victim_geometry(c: &mut Criterion) {
+    let cfg = bench_config();
+    let sizes = [1024u64, 4096, 16 << 10];
+    let lines = [8u64, 16, 64];
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || {
+        victim_geometry::run(&cfg, victim_geometry::GeometryAxis::CacheSize, &sizes).render()
+    });
+    c.bench_function("fig_3_6/victim_vs_cache_size", |b| {
+        b.iter(|| {
+            black_box(victim_geometry::run(
+                &cfg,
+                victim_geometry::GeometryAxis::CacheSize,
+                &sizes,
+            ))
+        })
+    });
+    c.bench_function("fig_3_7/victim_vs_line_size", |b| {
+        b.iter(|| {
+            black_box(victim_geometry::run(
+                &cfg,
+                victim_geometry::GeometryAxis::LineSize,
+                &lines,
+            ))
+        })
+    });
+}
+
+fn bench_fig_4_1(c: &mut Criterion) {
+    let cfg = bench_config();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || fig_4_1::run(&cfg).render());
+    c.bench_function("fig_4_1/prefetch_lead_times", |b| {
+        b.iter(|| black_box(fig_4_1::run(&cfg)))
+    });
+}
+
+fn bench_stream_sweeps(c: &mut Criterion) {
+    let cfg = bench_config();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || stream_sweep::run(&cfg, 4, 8).render());
+    c.bench_function("fig_4_3/stream_buffer_sweep", |b| {
+        b.iter(|| black_box(stream_sweep::run(&cfg, 1, 8)))
+    });
+    c.bench_function("fig_4_5/multiway_stream_sweep", |b| {
+        b.iter(|| black_box(stream_sweep::run(&cfg, 4, 8)))
+    });
+}
+
+fn bench_stream_geometry(c: &mut Criterion) {
+    let cfg = bench_config();
+    let sizes = [1024u64, 4096, 16 << 10];
+    let lines = [8u64, 16, 64];
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || {
+        stream_geometry::run(&cfg, victim_geometry::GeometryAxis::CacheSize, &sizes).render()
+    });
+    c.bench_function("fig_4_6/stream_vs_cache_size", |b| {
+        b.iter(|| {
+            black_box(stream_geometry::run(
+                &cfg,
+                victim_geometry::GeometryAxis::CacheSize,
+                &sizes,
+            ))
+        })
+    });
+    c.bench_function("fig_4_7/stream_vs_line_size", |b| {
+        b.iter(|| {
+            black_box(stream_geometry::run(
+                &cfg,
+                victim_geometry::GeometryAxis::LineSize,
+                &lines,
+            ))
+        })
+    });
+}
+
+fn bench_overlap_and_system(c: &mut Criterion) {
+    let cfg = bench_config();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, || {
+        format!("{}\n{}", overlap::run(&cfg).render(), fig_5_1::run(&cfg).render())
+    });
+    c.bench_function("overlap/vc_sb_orthogonality", |b| {
+        b.iter(|| black_box(overlap::run(&cfg)))
+    });
+    c.bench_function("fig_5_1/system_improvement", |b| {
+        b.iter(|| black_box(fig_5_1::run(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_tables, bench_fig_2_2, bench_fig_3_1, bench_conflict_sweeps,
+              bench_victim_geometry, bench_fig_4_1, bench_stream_sweeps,
+              bench_stream_geometry, bench_overlap_and_system
+}
+criterion_main!(experiments);

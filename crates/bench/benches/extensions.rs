@@ -1,0 +1,52 @@
+//! Criterion groups for the future-work extensions and ablations.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use jouppi_bench::bench_config;
+use jouppi_experiments::{
+    ext_associativity, ext_l2_victim, ext_latency, ext_multiprogramming, ext_penalty,
+    ext_replacement, ext_stride,
+};
+
+fn bench_extensions(c: &mut Criterion) {
+    let cfg = bench_config();
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("\n{}\n", ext_stride::run(&cfg).render());
+        println!("{}\n", ext_associativity::run(&cfg).render());
+    });
+    c.bench_function("ext_stride/non_unit_streams", |b| {
+        b.iter(|| black_box(ext_stride::run(&cfg)))
+    });
+    c.bench_function("ext_l2_victim/l2_victim_caches", |b| {
+        b.iter(|| black_box(ext_l2_victim::run(&cfg)))
+    });
+    c.bench_function("ext_multiprogramming/interleaved", |b| {
+        b.iter(|| black_box(ext_multiprogramming::run(&cfg)))
+    });
+    c.bench_function("ext_associativity/dm_vc_vs_set_assoc", |b| {
+        b.iter(|| black_box(ext_associativity::run(&cfg)))
+    });
+    c.bench_function("ext_latency/latency_sweep", |b| {
+        b.iter(|| black_box(ext_latency::run(&cfg)))
+    });
+    c.bench_function("ext_replacement/policy_ablation", |b| {
+        b.iter(|| black_box(ext_replacement::run(&cfg)))
+    });
+    c.bench_function("ext_penalty/penalty_sweep", |b| {
+        b.iter(|| black_box(ext_penalty::run(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = extensions;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_extensions
+}
+criterion_main!(extensions);

@@ -1,0 +1,146 @@
+//! Microbenchmarks of the simulator hot paths: raw cache accesses, LRU
+//! structure operations, victim-cache swaps, stream-buffer probes, and
+//! miss classification.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use jouppi_bench::MICRO_REFS;
+use jouppi_cache::{Cache, CacheGeometry, LruSet, MissClassifier};
+use jouppi_core::{
+    AugmentedCache, AugmentedConfig, MultiWayStreamBuffer, StreamBufferConfig, VictimCache,
+};
+use jouppi_trace::LineAddr;
+
+/// A deterministic mixed-locality line stream.
+fn stream(len: usize, span: u64) -> Vec<LineAddr> {
+    (0..len as u64)
+        .map(|i| LineAddr::new((i.wrapping_mul(2654435761) ^ (i >> 3)) % span))
+        .collect()
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let refs = stream(MICRO_REFS, 4096);
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    g.bench_function("direct_mapped_access", |b| {
+        let geom = CacheGeometry::direct_mapped(4096, 16).unwrap();
+        b.iter(|| {
+            let mut cache = Cache::new(geom);
+            for &line in &refs {
+                black_box(cache.access_line(line));
+            }
+        })
+    });
+    g.bench_function("two_way_lru_access", |b| {
+        let geom = CacheGeometry::new(4096, 16, 2).unwrap();
+        b.iter(|| {
+            let mut cache = Cache::new(geom);
+            for &line in &refs {
+                black_box(cache.access_line(line));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru_set(c: &mut Criterion) {
+    let refs = stream(MICRO_REFS, 512);
+    let mut g = c.benchmark_group("lru_set");
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    g.bench_function("touch_or_insert_256", |b| {
+        b.iter(|| {
+            let mut lru = LruSet::new(256);
+            for &line in &refs {
+                black_box(lru.touch_or_insert(line));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_victim_cache(c: &mut Criterion) {
+    let refs = stream(MICRO_REFS, 64);
+    let mut g = c.benchmark_group("victim_cache");
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    g.bench_function("probe_swap_4_entry", |b| {
+        b.iter(|| {
+            let mut vc = VictimCache::new(4);
+            for (i, &line) in refs.iter().enumerate() {
+                let victim = LineAddr::new(line.get() + 1000);
+                if !vc.probe_swap(line, Some(victim)) && i % 2 == 0 {
+                    vc.insert_victim(victim);
+                }
+            }
+            black_box(vc.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_stream_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_buffer");
+    g.throughput(Throughput::Elements(MICRO_REFS as u64));
+    g.bench_function("sequential_probe_consume", |b| {
+        b.iter(|| {
+            let mut sb = MultiWayStreamBuffer::new(4, StreamBufferConfig::new(4));
+            sb.handle_miss(LineAddr::new(0), 0);
+            for i in 1..MICRO_REFS as u64 {
+                if !sb.probe_consume(LineAddr::new(i), i).is_hit() {
+                    sb.handle_miss(LineAddr::new(i), i);
+                }
+            }
+            black_box(sb.num_ways())
+        })
+    });
+    g.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let refs = stream(MICRO_REFS, 2048);
+    let mut g = c.benchmark_group("classifier");
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    g.bench_function("three_c_observe", |b| {
+        let geom = CacheGeometry::direct_mapped(4096, 16).unwrap();
+        b.iter(|| {
+            let mut cache = Cache::new(geom);
+            let mut cls = MissClassifier::new(geom);
+            for &line in &refs {
+                let miss = cache.access_line(line).is_miss();
+                black_box(cls.observe(line, miss));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_augmented(c: &mut Criterion) {
+    let refs = stream(MICRO_REFS, 4096);
+    let geom = CacheGeometry::direct_mapped(4096, 16).unwrap();
+    let mut g = c.benchmark_group("augmented");
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    g.bench_function("improved_data_cache_access", |b| {
+        b.iter(|| {
+            let mut cache = AugmentedCache::new(
+                AugmentedConfig::new(geom)
+                    .victim_cache(4)
+                    .multi_way_stream_buffer(4, StreamBufferConfig::new(4)),
+            );
+            for &line in &refs {
+                black_box(cache.access_line(line));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = simulators;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_cache_access, bench_lru_set, bench_victim_cache,
+              bench_stream_buffer, bench_classifier, bench_augmented
+}
+criterion_main!(simulators);

@@ -1,0 +1,38 @@
+//! Trace-generation throughput: how fast each synthetic benchmark
+//! produces references (the substrate cost of every experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use jouppi_trace::TraceSource;
+use jouppi_workloads::{Benchmark, Scale};
+
+fn bench_generation(c: &mut Criterion) {
+    let scale = Scale::new(20_000);
+    let mut g = c.benchmark_group("trace_generation");
+    for b in Benchmark::ALL {
+        let src = b.source(scale, 42);
+        let total = src.refs().count() as u64;
+        g.throughput(Throughput::Elements(total));
+        g.bench_with_input(BenchmarkId::from_parameter(b.name()), &src, |bench, src| {
+            bench.iter(|| {
+                let mut last = 0u64;
+                for r in src.refs() {
+                    last = r.addr.get();
+                }
+                black_box(last)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = workloads;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_generation
+}
+criterion_main!(workloads);

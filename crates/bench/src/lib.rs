@@ -1,0 +1,35 @@
+//! Benchmark harness support for the Jouppi (ISCA 1990) reproduction.
+//!
+//! The Criterion benches under `benches/` time the regeneration of every
+//! table and figure in the paper (`benches/experiments.rs` — one group
+//! per artifact), the simulator hot paths (`benches/simulators.rs`), and
+//! trace generation (`benches/workloads.rs`). Run them with
+//! `cargo bench --workspace`.
+//!
+//! This library crate only hosts the shared scale constants so the bench
+//! targets agree on workload sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jouppi_experiments::common::ExperimentConfig;
+
+/// Trace scale used by the per-figure benches: large enough for the
+/// curves to have their shape, small enough for Criterion's repetitions.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig::with_scale(10_000)
+}
+
+/// Number of references used by the microbenches.
+pub const MICRO_REFS: usize = 100_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small() {
+        assert!(bench_config().scale.instructions <= 100_000);
+        const { assert!(MICRO_REFS >= 10_000) };
+    }
+}

@@ -1,0 +1,315 @@
+//! Cache geometry: size, line size, associativity.
+
+use std::error::Error;
+use std::fmt;
+
+use jouppi_trace::{Addr, LineAddr};
+
+/// Why a [`CacheGeometry`] could not be constructed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A parameter was zero.
+    Zero(&'static str),
+    /// A parameter that must be a power of two was not.
+    NotPowerOfTwo(&'static str, u64),
+    /// `size` is not divisible into `associativity` ways of whole lines.
+    Indivisible {
+        /// Total cache size in bytes.
+        size: u64,
+        /// Line size in bytes.
+        line_size: u64,
+        /// Requested associativity.
+        associativity: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Zero(what) => write!(f, "{what} must be nonzero"),
+            GeometryError::NotPowerOfTwo(what, v) => {
+                write!(f, "{what} must be a power of two, got {v}")
+            }
+            GeometryError::Indivisible {
+                size,
+                line_size,
+                associativity,
+            } => write!(
+                f,
+                "cache of {size} bytes cannot hold {associativity}-way sets of {line_size}-byte lines"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+/// The shape of a cache: total size, line size, and associativity.
+///
+/// All three dimensions must be powers of two (the paper's configurations
+/// all are, and it keeps index extraction a shift/mask). An associativity
+/// equal to the number of lines makes the cache fully associative.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_cache::CacheGeometry;
+///
+/// # fn main() -> Result<(), jouppi_cache::GeometryError> {
+/// // The paper's baseline L1: 4KB direct-mapped, 16B lines.
+/// let l1 = CacheGeometry::direct_mapped(4096, 16)?;
+/// assert_eq!(l1.num_sets(), 256);
+/// assert_eq!(l1.num_lines(), 256);
+///
+/// // The baseline L2: 1MB direct-mapped, 128B lines.
+/// let l2 = CacheGeometry::direct_mapped(1 << 20, 128)?;
+/// assert_eq!(l2.num_lines(), 8192);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size: u64,
+    line_size: u64,
+    associativity: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry, validating all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any parameter is zero or not a power of
+    /// two, or if the cache cannot be divided into whole sets.
+    pub fn new(size: u64, line_size: u64, associativity: u64) -> Result<Self, GeometryError> {
+        for (name, v) in [
+            ("cache size", size),
+            ("line size", line_size),
+            ("associativity", associativity),
+        ] {
+            if v == 0 {
+                return Err(GeometryError::Zero(name));
+            }
+            if !v.is_power_of_two() {
+                return Err(GeometryError::NotPowerOfTwo(name, v));
+            }
+        }
+        let way_bytes = line_size
+            .checked_mul(associativity)
+            .ok_or(GeometryError::Indivisible {
+                size,
+                line_size,
+                associativity,
+            })?;
+        if !size.is_multiple_of(way_bytes) || size < way_bytes {
+            return Err(GeometryError::Indivisible {
+                size,
+                line_size,
+                associativity,
+            });
+        }
+        Ok(CacheGeometry {
+            size,
+            line_size,
+            associativity,
+        })
+    }
+
+    /// Creates a direct-mapped geometry (associativity 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the parameters are invalid; see
+    /// [`CacheGeometry::new`].
+    pub fn direct_mapped(size: u64, line_size: u64) -> Result<Self, GeometryError> {
+        CacheGeometry::new(size, line_size, 1)
+    }
+
+    /// Creates a fully-associative geometry (associativity = number of
+    /// lines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the parameters are invalid; see
+    /// [`CacheGeometry::new`].
+    pub fn fully_associative(size: u64, line_size: u64) -> Result<Self, GeometryError> {
+        if line_size == 0 {
+            return Err(GeometryError::Zero("line size"));
+        }
+        if size == 0 {
+            return Err(GeometryError::Zero("cache size"));
+        }
+        if !size.is_multiple_of(line_size) {
+            return Err(GeometryError::Indivisible {
+                size,
+                line_size,
+                associativity: size / line_size.max(1),
+            });
+        }
+        CacheGeometry::new(size, line_size, size / line_size)
+    }
+
+    /// Total cache capacity in bytes.
+    #[inline]
+    pub const fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Line (block) size in bytes.
+    #[inline]
+    pub const fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of ways per set (1 = direct-mapped).
+    #[inline]
+    pub const fn associativity(&self) -> u64 {
+        self.associativity
+    }
+
+    /// Total number of lines the cache can hold.
+    #[inline]
+    pub const fn num_lines(&self) -> u64 {
+        self.size / self.line_size
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub const fn num_sets(&self) -> u64 {
+        self.num_lines() / self.associativity
+    }
+
+    /// Returns `true` if every line shares one set.
+    #[inline]
+    pub const fn is_fully_associative(&self) -> bool {
+        self.num_sets() == 1
+    }
+
+    /// Returns `true` for associativity 1.
+    #[inline]
+    pub const fn is_direct_mapped(&self) -> bool {
+        self.associativity == 1
+    }
+
+    /// The line address for a byte address under this geometry.
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> LineAddr {
+        addr.line(self.line_size)
+    }
+
+    /// The set index a line maps to.
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.get() & (self.num_sets() - 1)) as usize
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let assoc = if self.is_direct_mapped() {
+            "direct-mapped".to_owned()
+        } else if self.is_fully_associative() {
+            "fully-associative".to_owned()
+        } else {
+            format!("{}-way", self.associativity)
+        };
+        if self.size.is_multiple_of(1024) {
+            write!(f, "{}KB {assoc}, {}B lines", self.size / 1024, self.line_size)
+        } else {
+            write!(f, "{}B {assoc}, {}B lines", self.size, self.line_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_l1_geometry() {
+        let g = CacheGeometry::direct_mapped(4096, 16).unwrap();
+        assert_eq!(g.size(), 4096);
+        assert_eq!(g.line_size(), 16);
+        assert_eq!(g.associativity(), 1);
+        assert_eq!(g.num_lines(), 256);
+        assert_eq!(g.num_sets(), 256);
+        assert!(g.is_direct_mapped());
+        assert!(!g.is_fully_associative());
+    }
+
+    #[test]
+    fn fully_associative_geometry() {
+        let g = CacheGeometry::fully_associative(64, 16).unwrap();
+        assert_eq!(g.associativity(), 4);
+        assert_eq!(g.num_sets(), 1);
+        assert!(g.is_fully_associative());
+        assert!(!g.is_direct_mapped());
+    }
+
+    #[test]
+    fn set_mapping_wraps_modulo_sets() {
+        let g = CacheGeometry::direct_mapped(4096, 16).unwrap();
+        // 4KB / 16B = 256 sets; lines 0 and 256 collide.
+        assert_eq!(g.set_of(LineAddr::new(0)), g.set_of(LineAddr::new(256)));
+        assert_ne!(g.set_of(LineAddr::new(0)), g.set_of(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn line_of_uses_line_size() {
+        let g = CacheGeometry::direct_mapped(4096, 32).unwrap();
+        assert_eq!(g.line_of(Addr::new(0x40)), LineAddr::new(2));
+    }
+
+    #[test]
+    fn rejects_zero_and_non_power_of_two() {
+        assert_eq!(
+            CacheGeometry::new(0, 16, 1),
+            Err(GeometryError::Zero("cache size"))
+        );
+        assert_eq!(
+            CacheGeometry::new(4096, 0, 1),
+            Err(GeometryError::Zero("line size"))
+        );
+        assert_eq!(
+            CacheGeometry::new(4096, 16, 0),
+            Err(GeometryError::Zero("associativity"))
+        );
+        assert_eq!(
+            CacheGeometry::new(3000, 16, 1),
+            Err(GeometryError::NotPowerOfTwo("cache size", 3000))
+        );
+        assert_eq!(
+            CacheGeometry::new(4096, 24, 1),
+            Err(GeometryError::NotPowerOfTwo("line size", 24))
+        );
+    }
+
+    #[test]
+    fn rejects_indivisible_shapes() {
+        // 2 lines total but 4 ways requested.
+        assert!(matches!(
+            CacheGeometry::new(32, 16, 4),
+            Err(GeometryError::Indivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CacheGeometry::new(4096, 24, 1).unwrap_err();
+        assert!(e.to_string().contains("power of two"));
+        let e = CacheGeometry::new(32, 16, 4).unwrap_err();
+        assert!(e.to_string().contains("cannot hold"));
+        let e = CacheGeometry::new(0, 16, 1).unwrap_err();
+        assert!(e.to_string().contains("nonzero"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = CacheGeometry::direct_mapped(4096, 16).unwrap();
+        assert_eq!(g.to_string(), "4KB direct-mapped, 16B lines");
+        let g = CacheGeometry::fully_associative(64, 16).unwrap();
+        assert_eq!(g.to_string(), "64B fully-associative, 16B lines");
+        let g = CacheGeometry::new(8192, 16, 2).unwrap();
+        assert_eq!(g.to_string(), "8KB 2-way, 16B lines");
+    }
+}

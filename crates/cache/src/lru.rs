@@ -1,0 +1,376 @@
+//! An exact, O(1) least-recently-used set of cache lines.
+//!
+//! [`LruSet`] underpins everything in this workspace that needs true LRU
+//! over more than a handful of entries: the fully-associative shadow cache
+//! inside the three-C [miss classifier](crate::MissClassifier), and the
+//! small fully-associative miss/victim caches in `jouppi-core`.
+//!
+//! The implementation is a hash map from line address to slot index plus an
+//! intrusive doubly-linked list threaded through a slab of slots, giving
+//! O(1) touch, insert, evict, and remove.
+
+use std::collections::HashMap;
+
+use jouppi_trace::LineAddr;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    line: LineAddr,
+    prev: usize,
+    next: usize,
+}
+
+/// Outcome of [`LruSet::touch_or_insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TouchOutcome {
+    /// The line was already present and has been moved to MRU.
+    Hit,
+    /// The line was inserted without evicting anything.
+    Inserted,
+    /// The line was inserted and the returned LRU line was evicted.
+    Evicted(LineAddr),
+}
+
+/// A fixed-capacity set of cache lines with exact LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_cache::LruSet;
+/// use jouppi_trace::LineAddr;
+///
+/// let mut lru = LruSet::new(2);
+/// lru.insert(LineAddr::new(1));
+/// lru.insert(LineAddr::new(2));
+/// lru.touch(LineAddr::new(1));              // 1 is now MRU
+/// let evicted = lru.insert(LineAddr::new(3)); // evicts LRU = 2
+/// assert_eq!(evicted, Some(LineAddr::new(2)));
+/// assert!(lru.contains(LineAddr::new(1)));
+/// assert!(lru.contains(LineAddr::new(3)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruSet {
+    map: HashMap<LineAddr, usize>,
+    slots: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // MRU
+    tail: usize, // LRU
+    capacity: usize,
+}
+
+impl LruSet {
+    /// Creates an empty set holding at most `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruSet capacity must be nonzero");
+        LruSet {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Maximum number of resident lines.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident lines.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no lines are resident.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Returns `true` if `line` is resident (without affecting recency).
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.map.contains_key(&line)
+    }
+
+    /// Marks `line` as most-recently used. Returns `true` if it was present.
+    pub fn touch(&mut self, line: LineAddr) -> bool {
+        if let Some(&idx) = self.map.get(&line) {
+            self.unlink(idx);
+            self.push_front(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `line` as MRU, evicting the LRU line if the set is full.
+    ///
+    /// If the line is already present it is simply touched and `None` is
+    /// returned.
+    pub fn insert(&mut self, line: LineAddr) -> Option<LineAddr> {
+        match self.touch_or_insert(line) {
+            TouchOutcome::Evicted(victim) => Some(victim),
+            _ => None,
+        }
+    }
+
+    /// Touches `line` if present, otherwise inserts it (evicting LRU if
+    /// full), and reports which of the three happened.
+    pub fn touch_or_insert(&mut self, line: LineAddr) -> TouchOutcome {
+        if self.touch(line) {
+            return TouchOutcome::Hit;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let lru = self.tail;
+            let victim = self.slots[lru].line;
+            self.unlink(lru);
+            self.map.remove(&victim);
+            self.free.push(lru);
+            Some(victim)
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Node {
+                    line,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slots.push(Node {
+                    line,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(line, idx);
+        self.push_front(idx);
+        match evicted {
+            Some(v) => TouchOutcome::Evicted(v),
+            None => TouchOutcome::Inserted,
+        }
+    }
+
+    /// Removes `line` from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        if let Some(idx) = self.map.remove(&line) {
+            self.unlink(idx);
+            self.free.push(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The least-recently-used line, if any.
+    pub fn lru(&self) -> Option<LineAddr> {
+        (self.tail != NIL).then(|| self.slots[self.tail].line)
+    }
+
+    /// The most-recently-used line, if any.
+    pub fn mru(&self) -> Option<LineAddr> {
+        (self.head != NIL).then(|| self.slots[self.head].line)
+    }
+
+    /// Iterates over resident lines from MRU to LRU.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Removes all lines.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.slots[idx];
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// Iterator over an [`LruSet`] from MRU to LRU, created by [`LruSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    set: &'a LruSet,
+    cursor: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = LineAddr;
+
+    fn next(&mut self) -> Option<LineAddr> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.set.slots[self.cursor];
+        self.cursor = node.next;
+        Some(node.line)
+    }
+}
+
+impl<'a> IntoIterator for &'a LruSet {
+    type Item = LineAddr;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn insert_until_full_then_evict_lru() {
+        let mut s = LruSet::new(3);
+        assert_eq!(s.insert(l(1)), None);
+        assert_eq!(s.insert(l(2)), None);
+        assert_eq!(s.insert(l(3)), None);
+        assert_eq!(s.len(), 3);
+        // 1 is LRU.
+        assert_eq!(s.insert(l(4)), Some(l(1)));
+        assert!(!s.contains(l(1)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn touch_changes_eviction_order() {
+        let mut s = LruSet::new(2);
+        s.insert(l(1));
+        s.insert(l(2));
+        assert!(s.touch(l(1)));
+        assert_eq!(s.insert(l(3)), Some(l(2)));
+        assert!(s.contains(l(1)));
+    }
+
+    #[test]
+    fn touch_missing_returns_false() {
+        let mut s = LruSet::new(2);
+        assert!(!s.touch(l(9)));
+        s.insert(l(1));
+        assert!(!s.touch(l(9)));
+    }
+
+    #[test]
+    fn reinsert_present_line_is_a_touch() {
+        let mut s = LruSet::new(2);
+        s.insert(l(1));
+        s.insert(l(2));
+        assert_eq!(s.touch_or_insert(l(1)), TouchOutcome::Hit);
+        assert_eq!(s.insert(l(3)), Some(l(2)));
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut s = LruSet::new(2);
+        s.insert(l(1));
+        s.insert(l(2));
+        assert!(s.remove(l(1)));
+        assert!(!s.remove(l(1)));
+        assert_eq!(s.insert(l(3)), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn mru_lru_and_iter_order() {
+        let mut s = LruSet::new(3);
+        s.insert(l(1));
+        s.insert(l(2));
+        s.insert(l(3));
+        s.touch(l(2));
+        assert_eq!(s.mru(), Some(l(2)));
+        assert_eq!(s.lru(), Some(l(1)));
+        let order: Vec<_> = s.iter().collect();
+        assert_eq!(order, vec![l(2), l(3), l(1)]);
+        let order2: Vec<_> = (&s).into_iter().collect();
+        assert_eq!(order, order2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = LruSet::new(2);
+        s.insert(l(1));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.lru(), None);
+        assert_eq!(s.mru(), None);
+        assert_eq!(s.insert(l(5)), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn capacity_one_behaves() {
+        let mut s = LruSet::new(1);
+        assert_eq!(s.insert(l(1)), None);
+        assert_eq!(s.insert(l(2)), Some(l(1)));
+        assert_eq!(s.touch_or_insert(l(2)), TouchOutcome::Hit);
+        assert_eq!(s.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = LruSet::new(0);
+    }
+
+    #[test]
+    fn slot_reuse_after_removals() {
+        let mut s = LruSet::new(3);
+        for i in 0..100 {
+            s.insert(l(i));
+        }
+        assert_eq!(s.len(), 3);
+        // Slab should not have grown past capacity + a few reusable slots.
+        assert!(s.slots.len() <= 4);
+    }
+}

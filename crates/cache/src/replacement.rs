@@ -1,0 +1,105 @@
+//! Replacement policies for set-associative caches.
+
+use std::fmt;
+
+/// Which resident line a set evicts when a new line must be brought in.
+///
+/// The paper's caches are direct-mapped (where replacement is trivial), and
+/// its fully-associative miss/victim caches use LRU; FIFO and a seeded
+/// pseudo-random policy are provided for ablation experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used line (exact LRU).
+    #[default]
+    Lru,
+    /// Evict the line that has been resident longest, ignoring use.
+    Fifo,
+    /// Evict a pseudo-random line (deterministic xorshift sequence).
+    Random,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::Random => "random",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A small deterministic xorshift64* generator for the `Random` policy.
+///
+/// Implemented inline so the cache substrate carries no RNG dependency; the
+/// sequence is fixed for a given seed, keeping simulations reproducible.
+#[derive(Clone, Debug)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: seed.max(1), // xorshift must not start at 0
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish value in `0..bound` (bound must be nonzero).
+    pub(crate) fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(ReplacementPolicy::Random.to_string(), "random");
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_varies() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        let va: Vec<_> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<_> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert!(va.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn xorshift_handles_zero_seed() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        // bound 1 always yields 0
+        assert_eq!(r.below(1), 0);
+    }
+}

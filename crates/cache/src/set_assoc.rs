@@ -1,0 +1,434 @@
+//! The generic set-associative cache model.
+
+use jouppi_trace::{Addr, LineAddr};
+
+use crate::replacement::XorShift64;
+use crate::{CacheGeometry, CacheStats, ReplacementPolicy};
+
+/// Outcome of a demand access to a [`Cache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The line was resident.
+    Hit,
+    /// The line was not resident; it has been filled, evicting `victim`
+    /// (if the target way held a valid line).
+    Miss {
+        /// The line displaced by the fill, if any. This is exactly the line
+        /// a victim cache would capture.
+        victim: Option<LineAddr>,
+    },
+}
+
+impl AccessResult {
+    /// Returns `true` for [`AccessResult::Hit`].
+    #[inline]
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+
+    /// Returns `true` for [`AccessResult::Miss`].
+    #[inline]
+    pub const fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: LineAddr,
+    /// Last-use time under LRU; insertion time under FIFO; unused by Random.
+    stamp: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct CacheSet {
+    ways: Vec<Way>,
+}
+
+/// A tag-only set-associative cache (direct-mapped through fully
+/// associative) with a configurable replacement policy.
+///
+/// Two API levels are provided:
+///
+/// * [`Cache::access`] / [`Cache::access_line`] — a complete demand access:
+///   lookup, fill-on-miss, and statistics. This is what plain baseline
+///   simulations use.
+/// * The primitives [`Cache::lookup`], [`Cache::fill`],
+///   [`Cache::invalidate`], and [`Cache::replace_resident`] — used by the
+///   augmented organizations in `jouppi-core` (victim caches need to swap
+///   lines; stream buffers fill the cache from the buffer). The primitives
+///   do **not** update [`Cache::stats`]; composite organizations keep their
+///   own counters.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_cache::{AccessResult, Cache, CacheGeometry};
+/// use jouppi_trace::Addr;
+///
+/// # fn main() -> Result<(), jouppi_cache::GeometryError> {
+/// let mut c = Cache::new(CacheGeometry::direct_mapped(64, 16)?);
+/// assert!(c.access(Addr::new(0)).is_miss());
+/// assert!(c.access(Addr::new(8)).is_hit());     // same line
+/// // 64B direct-mapped cache of 16B lines = 4 sets; 0 and 64 collide:
+/// match c.access(Addr::new(64)) {
+///     AccessResult::Miss { victim } => assert_eq!(victim, Some(Addr::new(0).line(16))),
+///     AccessResult::Hit => unreachable!(),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geom: CacheGeometry,
+    policy: ReplacementPolicy,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+    tick: u64,
+    rng: XorShift64,
+}
+
+impl Cache {
+    /// Creates an empty cache with LRU replacement (exact LRU; for a
+    /// direct-mapped cache the policy is irrelevant).
+    pub fn new(geom: CacheGeometry) -> Self {
+        Cache::with_policy(geom, ReplacementPolicy::Lru)
+    }
+
+    /// Creates an empty cache with the given replacement policy.
+    pub fn with_policy(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        let sets = vec![CacheSet::default(); geom.num_sets() as usize];
+        Cache {
+            geom,
+            policy,
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+            rng: XorShift64::new(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The cache's geometry.
+    #[inline]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// The replacement policy in use.
+    #[inline]
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Demand-access statistics accumulated by [`Cache::access`].
+    #[inline]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the demand-access statistics (resident lines are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Performs a full demand access for a byte address: lookup, fill on
+    /// miss, and statistics update.
+    pub fn access(&mut self, addr: Addr) -> AccessResult {
+        let line = self.geom.line_of(addr);
+        self.access_line(line)
+    }
+
+    /// Performs a full demand access for a line address.
+    pub fn access_line(&mut self, line: LineAddr) -> AccessResult {
+        self.stats.accesses += 1;
+        if self.lookup(line) {
+            self.stats.hits += 1;
+            AccessResult::Hit
+        } else {
+            self.stats.misses += 1;
+            let victim = self.fill(line);
+            if victim.is_some() {
+                self.stats.evictions += 1;
+            }
+            AccessResult::Miss { victim }
+        }
+    }
+
+    /// Checks residency without updating replacement state or statistics.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let set = &self.sets[self.geom.set_of(line)];
+        set.ways.iter().any(|w| w.line == line)
+    }
+
+    /// Looks up a line: on a hit the line's recency is updated (for LRU) and
+    /// `true` is returned; on a miss nothing changes and `false` is
+    /// returned. Statistics are *not* updated.
+    pub fn lookup(&mut self, line: LineAddr) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[self.geom.set_of(line)];
+        match set.ways.iter_mut().find(|w| w.line == line) {
+            Some(way) => {
+                if self.policy == ReplacementPolicy::Lru {
+                    way.stamp = tick;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills a line into the cache, evicting per the replacement policy if
+    /// the set is full. Returns the displaced line, if any. Statistics are
+    /// *not* updated.
+    ///
+    /// If the line is already resident this is a no-op returning `None`
+    /// (composites may race a prefetch against a demand fill).
+    pub fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.tick += 1;
+        let tick = self.tick;
+        let assoc = self.geom.associativity() as usize;
+        let policy = self.policy;
+        let set_idx = self.geom.set_of(line);
+        if self.sets[set_idx].ways.iter().any(|w| w.line == line) {
+            return None;
+        }
+        if self.sets[set_idx].ways.len() < assoc {
+            self.sets[set_idx].ways.push(Way { line, stamp: tick });
+            return None;
+        }
+        let victim_idx = match policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                let set = &self.sets[set_idx];
+                set.ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .map(|(i, _)| i)
+                    .expect("full set is nonempty")
+            }
+            ReplacementPolicy::Random => self.rng.below(assoc),
+        };
+        let set = &mut self.sets[set_idx];
+        let victim = set.ways[victim_idx].line;
+        set.ways[victim_idx] = Way { line, stamp: tick };
+        Some(victim)
+    }
+
+    /// Removes a line from the cache. Returns `true` if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let set = &mut self.sets[self.geom.set_of(line)];
+        match set.ways.iter().position(|w| w.line == line) {
+            Some(idx) => {
+                set.ways.swap_remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces resident line `old` with `new` in place, marking `new` as
+    /// most recently used. Returns `false` (and changes nothing) if `old` is
+    /// not resident or `new` maps to a different set.
+    ///
+    /// This is the cache half of a victim-cache swap: the requested line
+    /// moves from the victim cache into the way its conflict partner
+    /// occupied.
+    pub fn replace_resident(&mut self, old: LineAddr, new: LineAddr) -> bool {
+        if self.geom.set_of(old) != self.geom.set_of(new) {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[self.geom.set_of(old)];
+        match set.ways.iter_mut().find(|w| w.line == old) {
+            Some(way) => {
+                way.line = new;
+                way.stamp = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_count(&self) -> usize {
+        self.sets.iter().map(|s| s.ways.len()).sum()
+    }
+
+    /// Iterates over all resident lines (set order, then way order).
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets.iter().flat_map(|s| s.ways.iter().map(|w| w.line))
+    }
+
+    /// Empties the cache (statistics are kept).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.ways.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm(size: u64, line: u64) -> Cache {
+        Cache::new(CacheGeometry::direct_mapped(size, line).unwrap())
+    }
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn direct_mapped_conflict_eviction() {
+        let mut c = dm(64, 16); // 4 sets
+        assert_eq!(c.access_line(l(0)), AccessResult::Miss { victim: None });
+        assert_eq!(c.access_line(l(0)), AccessResult::Hit);
+        // line 4 maps to set 0 as well
+        assert_eq!(
+            c.access_line(l(4)),
+            AccessResult::Miss { victim: Some(l(0)) }
+        );
+        assert_eq!(
+            c.access_line(l(0)),
+            AccessResult::Miss { victim: Some(l(4)) }
+        );
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 3);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn two_way_lru_keeps_recently_used() {
+        let geom = CacheGeometry::new(64, 16, 2).unwrap(); // 2 sets, 2-way
+        let mut c = Cache::new(geom);
+        // Set 0 holds lines 0, 2, 4, ... (even lines).
+        c.access_line(l(0));
+        c.access_line(l(2));
+        c.access_line(l(0)); // touch 0: now 2 is LRU
+        assert_eq!(
+            c.access_line(l(4)),
+            AccessResult::Miss { victim: Some(l(2)) }
+        );
+        assert!(c.probe(l(0)));
+        assert!(c.probe(l(4)));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let geom = CacheGeometry::new(32, 16, 2).unwrap(); // 1 set, 2-way
+        let mut c = Cache::with_policy(geom, ReplacementPolicy::Fifo);
+        c.access_line(l(0));
+        c.access_line(l(1));
+        c.access_line(l(0)); // hit; FIFO order unchanged
+        assert_eq!(
+            c.access_line(l(2)),
+            AccessResult::Miss { victim: Some(l(0)) }
+        );
+    }
+
+    #[test]
+    fn random_policy_evicts_something_from_full_set() {
+        let geom = CacheGeometry::new(64, 16, 4).unwrap(); // 1 set, 4-way
+        let mut c = Cache::with_policy(geom, ReplacementPolicy::Random);
+        for i in 0..4 {
+            assert_eq!(c.access_line(l(i)), AccessResult::Miss { victim: None });
+        }
+        match c.access_line(l(10)) {
+            AccessResult::Miss { victim: Some(v) } => assert!(v.get() < 4),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(c.resident_count(), 4);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let geom = CacheGeometry::new(32, 16, 2).unwrap();
+        let mut c = Cache::new(geom);
+        c.access_line(l(0));
+        c.access_line(l(1));
+        assert!(c.probe(l(0))); // must NOT make 0 MRU
+        assert_eq!(
+            c.access_line(l(2)),
+            AccessResult::Miss { victim: Some(l(0)) }
+        );
+    }
+
+    #[test]
+    fn fill_is_idempotent_for_resident_lines() {
+        let mut c = dm(64, 16);
+        c.fill(l(0));
+        assert_eq!(c.fill(l(0)), None);
+        assert_eq!(c.resident_count(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = dm(64, 16);
+        c.access_line(l(0));
+        assert!(c.invalidate(l(0)));
+        assert!(!c.invalidate(l(0)));
+        assert!(!c.probe(l(0)));
+        assert_eq!(c.access_line(l(0)), AccessResult::Miss { victim: None });
+    }
+
+    #[test]
+    fn replace_resident_swaps_in_place() {
+        let mut c = dm(64, 16);
+        c.access_line(l(0));
+        // 0 and 4 are conflict partners in a 4-set cache.
+        assert!(c.replace_resident(l(0), l(4)));
+        assert!(!c.probe(l(0)));
+        assert!(c.probe(l(4)));
+        // old not resident:
+        assert!(!c.replace_resident(l(0), l(4)));
+        // different sets:
+        assert!(!c.replace_resident(l(4), l(5)));
+    }
+
+    #[test]
+    fn flush_clears_lines_keeps_stats() {
+        let mut c = dm(64, 16);
+        c.access_line(l(0));
+        c.flush();
+        assert_eq!(c.resident_count(), 0);
+        assert_eq!(c.stats().accesses, 1);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn byte_address_access_uses_line_size() {
+        let mut c = dm(4096, 16);
+        c.access(Addr::new(0x100));
+        assert!(c.access(Addr::new(0x10f)).is_hit());
+        assert!(c.access(Addr::new(0x110)).is_miss());
+    }
+
+    #[test]
+    fn resident_lines_enumerates_all() {
+        let mut c = dm(64, 16);
+        c.access_line(l(0));
+        c.access_line(l(1));
+        let mut lines: Vec<_> = c.resident_lines().collect();
+        lines.sort();
+        assert_eq!(lines, vec![l(0), l(1)]);
+    }
+
+    #[test]
+    fn fully_associative_equals_lru_set_behaviour() {
+        let geom = CacheGeometry::fully_associative(64, 16).unwrap(); // 4 lines
+        let mut c = Cache::new(geom);
+        for i in 0..4 {
+            c.access_line(l(i * 100)); // arbitrary lines all share set 0
+        }
+        c.access_line(l(0)); // touch first
+        match c.access_line(l(999)) {
+            AccessResult::Miss { victim } => assert_eq!(victim, Some(l(100))),
+            AccessResult::Hit => panic!("expected miss"),
+        }
+    }
+}

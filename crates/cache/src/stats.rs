@@ -1,0 +1,246 @@
+//! Access and miss statistics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Demand-access counters for a cache.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_cache::CacheStats;
+///
+/// let s = CacheStats { accesses: 10, hits: 7, misses: 3, evictions: 2 };
+/// assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+/// assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CacheStats {
+    /// Total demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Fills that displaced a valid line.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub const fn new() -> Self {
+        CacheStats {
+            accesses: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Misses per access; 0.0 when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hits per access; 0.0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses + rhs.accesses,
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses (miss rate {:.4})",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_rate()
+        )
+    }
+}
+
+/// Misses split into the three-C classes used throughout the paper.
+///
+/// `compulsory + capacity + conflict` always equals the total number of
+/// classified misses (the classifier assigns exactly one class per miss).
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_cache::MissBreakdown;
+///
+/// let b = MissBreakdown { compulsory: 10, capacity: 50, conflict: 40 };
+/// assert_eq!(b.total(), 100);
+/// assert!((b.conflict_fraction() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct MissBreakdown {
+    /// First-ever references to a line (cold misses).
+    pub compulsory: u64,
+    /// Misses a fully-associative LRU cache of the same capacity would also
+    /// take.
+    pub capacity: u64,
+    /// Misses due only to the mapping (would hit fully-associative).
+    pub conflict: u64,
+}
+
+impl MissBreakdown {
+    /// Creates zeroed counters.
+    pub const fn new() -> Self {
+        MissBreakdown {
+            compulsory: 0,
+            capacity: 0,
+            conflict: 0,
+        }
+    }
+
+    /// Total classified misses.
+    pub const fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Fraction of misses that are conflict misses (Figure 3-1's metric);
+    /// 0.0 when there are no misses.
+    pub fn conflict_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.conflict as f64 / total as f64
+        }
+    }
+}
+
+impl Add for MissBreakdown {
+    type Output = MissBreakdown;
+
+    fn add(self, rhs: MissBreakdown) -> MissBreakdown {
+        MissBreakdown {
+            compulsory: self.compulsory + rhs.compulsory,
+            capacity: self.capacity + rhs.capacity,
+            conflict: self.conflict + rhs.conflict,
+        }
+    }
+}
+
+impl AddAssign for MissBreakdown {
+    fn add_assign(&mut self, rhs: MissBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for MissBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} compulsory, {} capacity, {} conflict ({:.1}% conflict)",
+            self.compulsory,
+            self.capacity,
+            self.conflict,
+            100.0 * self.conflict_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_accesses() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_add() {
+        let a = CacheStats {
+            accesses: 1,
+            hits: 1,
+            misses: 0,
+            evictions: 0,
+        };
+        let b = CacheStats {
+            accesses: 3,
+            hits: 1,
+            misses: 2,
+            evictions: 1,
+        };
+        let mut c = a;
+        c += b;
+        assert_eq!(c.accesses, 4);
+        assert_eq!(c.misses, 2);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_partition_and_fraction() {
+        let b = MissBreakdown {
+            compulsory: 1,
+            capacity: 2,
+            conflict: 1,
+        };
+        assert_eq!(b.total(), 4);
+        assert!((b.conflict_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(MissBreakdown::new().conflict_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_add() {
+        let a = MissBreakdown {
+            compulsory: 1,
+            capacity: 2,
+            conflict: 3,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b.total(), 12);
+    }
+
+    #[test]
+    fn displays() {
+        let s = CacheStats {
+            accesses: 4,
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!(s.to_string().contains("miss rate 0.2500"));
+        let b = MissBreakdown {
+            compulsory: 1,
+            capacity: 1,
+            conflict: 2,
+        };
+        assert!(b.to_string().contains("50.0% conflict"));
+    }
+}

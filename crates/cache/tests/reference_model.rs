@@ -1,0 +1,136 @@
+//! Property tests pitting `Cache` against a naive reference
+//! implementation: a per-set vector with explicit recency bookkeeping.
+
+use jouppi_cache::{AccessResult, Cache, CacheGeometry, ReplacementPolicy};
+use jouppi_trace::LineAddr;
+use proptest::prelude::*;
+
+/// A deliberately simple model of a set-associative LRU cache.
+struct NaiveLru {
+    sets: Vec<Vec<LineAddr>>, // each set ordered MRU-first
+    assoc: usize,
+    num_sets: u64,
+}
+
+impl NaiveLru {
+    fn new(num_sets: u64, assoc: usize) -> Self {
+        NaiveLru {
+            sets: vec![Vec::new(); num_sets as usize],
+            assoc,
+            num_sets,
+        }
+    }
+
+    fn access(&mut self, line: LineAddr) -> (bool, Option<LineAddr>) {
+        let set = &mut self.sets[(line.get() % self.num_sets) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            (true, None)
+        } else {
+            set.insert(0, line);
+            let victim = (set.len() > self.assoc).then(|| set.pop().expect("overfull"));
+            (false, victim)
+        }
+    }
+}
+
+fn line_stream(max_line: u64, len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..max_line, 1..len)
+}
+
+proptest! {
+    #[test]
+    fn set_associative_lru_matches_naive_model(
+        stream in line_stream(256, 500),
+        assoc_log in 0u32..4,
+        sets_log in 0u32..4,
+    ) {
+        let assoc = 1u64 << assoc_log;
+        let sets = 1u64 << sets_log;
+        let line_size = 16u64;
+        let geom = CacheGeometry::new(sets * assoc * line_size, line_size, assoc).unwrap();
+        let mut cache = Cache::new(geom);
+        let mut model = NaiveLru::new(sets, assoc as usize);
+        for &n in &stream {
+            let line = LineAddr::new(n);
+            let (model_hit, model_victim) = model.access(line);
+            match cache.access_line(line) {
+                AccessResult::Hit => prop_assert!(model_hit, "cache hit, model missed"),
+                AccessResult::Miss { victim } => {
+                    prop_assert!(!model_hit, "cache missed, model hit");
+                    prop_assert_eq!(victim, model_victim, "victim mismatch");
+                }
+            }
+        }
+        // Residency agrees exactly.
+        let mut ours: Vec<u64> = cache.resident_lines().map(|l| l.get()).collect();
+        let mut theirs: Vec<u64> = model
+            .sets
+            .iter()
+            .flatten()
+            .map(|l| l.get())
+            .collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        prop_assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn stats_count_exactly_the_observed_outcomes(stream in line_stream(64, 300)) {
+        let geom = CacheGeometry::direct_mapped(16 * 16, 16).unwrap();
+        let mut cache = Cache::new(geom);
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for &n in &stream {
+            match cache.access_line(LineAddr::new(n)) {
+                AccessResult::Hit => hits += 1,
+                AccessResult::Miss { victim } => {
+                    misses += 1;
+                    if victim.is_some() {
+                        evictions += 1;
+                    }
+                }
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits, hits);
+        prop_assert_eq!(s.misses, misses);
+        prop_assert_eq!(s.evictions, evictions);
+        prop_assert_eq!(s.accesses, hits + misses);
+    }
+
+    #[test]
+    fn fifo_eviction_order_is_insertion_order(stream in line_stream(64, 300)) {
+        // In a 1-set FIFO cache, victims must come out in exactly the
+        // order their lines were first inserted (reinsertions after
+        // eviction count anew).
+        let geom = CacheGeometry::new(4 * 16, 16, 4).unwrap(); // 1 set, 4-way
+        let mut cache = Cache::with_policy(geom, ReplacementPolicy::Fifo);
+        let mut inserted: Vec<u64> = Vec::new(); // queue of resident lines
+        for &n in &stream {
+            match cache.access_line(LineAddr::new(n)) {
+                AccessResult::Hit => {}
+                AccessResult::Miss { victim } => {
+                    if let Some(v) = victim {
+                        let expected = inserted.remove(0);
+                        prop_assert_eq!(v.get(), expected);
+                    }
+                    inserted.push(n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_then_access_always_misses(stream in line_stream(32, 100)) {
+        let geom = CacheGeometry::direct_mapped(8 * 16, 16).unwrap();
+        let mut cache = Cache::new(geom);
+        for &n in &stream {
+            let line = LineAddr::new(n);
+            cache.access_line(line);
+            cache.invalidate(line);
+            prop_assert!(!cache.probe(line));
+            prop_assert!(cache.access_line(line).is_miss());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Analysis logic for `jouppi-stat`: trace statistics, footprints, and
+//! miss-rate curves for a workload or a din trace file.
+
+use std::fs::File;
+use std::io::BufReader;
+
+use jouppi_cache::{CacheGeometry, ClassifiedCache, StackDistanceProfile};
+use jouppi_report::Table;
+use jouppi_trace::{io as trace_io, Footprint, RecordedTrace, TraceSource};
+use jouppi_workloads::{Benchmark, Scale};
+
+use crate::UsageError;
+
+/// Options for `jouppi-stat`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatOptions {
+    /// Workload or trace file, as in `jouppi-sim`.
+    pub input: crate::Input,
+    /// Line size for footprints and curves.
+    pub line_size: u64,
+    /// Workload scale (instructions).
+    pub scale: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for StatOptions {
+    fn default() -> Self {
+        StatOptions {
+            input: crate::Input::Workload(Benchmark::Ccom),
+            line_size: 16,
+            scale: 500_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Usage text for `jouppi-stat`.
+pub const STAT_USAGE: &str = "\
+usage: jouppi-stat [OPTIONS]
+  --workload NAME    built-in workload: ccom grr yacc met linpack liver
+  --trace FILE       Dinero-format trace file instead of a workload
+  --line N           line size in bytes for footprints/curves (default 16)
+  --scale N          workload length in instructions (default 500000)
+  --seed N           workload seed (default 42)
+  --help             show this message";
+
+/// Parses `jouppi-stat` arguments.
+///
+/// # Errors
+///
+/// Returns [`UsageError`] for the first invalid argument.
+pub fn parse_stat_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<StatOptions, UsageError> {
+    let mut opts = StatOptions::default();
+    let mut args = args.into_iter();
+    let err = |m: String| UsageError(m);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| UsageError(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let name = value("--workload")?;
+                let bench = Benchmark::from_name(&name)
+                    .ok_or_else(|| err(format!("unknown workload '{name}'")))?;
+                opts.input = crate::Input::Workload(bench);
+            }
+            "--trace" => opts.input = crate::Input::TraceFile(value("--trace")?),
+            "--line" => {
+                let n: u64 = value("--line")?
+                    .parse()
+                    .map_err(|_| err("--line wants an integer".into()))?;
+                if !n.is_power_of_two() {
+                    return Err(err(format!("--line must be a power of two, got {n}")));
+                }
+                opts.line_size = n;
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|_| err("--scale wants an integer".into()))?;
+                if opts.scale == 0 {
+                    return Err(err("--scale must be positive".into()));
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| err("--seed wants an integer".into()))?;
+            }
+            "--help" | "-h" => return Err(err(STAT_USAGE.into())),
+            other => return Err(err(format!("unknown argument '{other}'\n{STAT_USAGE}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the analysis and returns the report text.
+///
+/// # Errors
+///
+/// Returns trace-loading errors.
+pub fn run_stat(opts: &StatOptions) -> Result<String, Box<dyn std::error::Error>> {
+    let trace = match &opts.input {
+        crate::Input::Workload(b) => {
+            RecordedTrace::record(&b.source(Scale::new(opts.scale), opts.seed))
+        }
+        crate::Input::TraceFile(path) => {
+            let file = File::open(path)
+                .map_err(|e| UsageError(format!("cannot open {path}: {e}")))?;
+            trace_io::read_din(BufReader::new(file), path)?
+        }
+    };
+
+    let stats = trace.stats();
+    let mut fp = Footprint::new(opts.line_size);
+    let mut profile = StackDistanceProfile::new();
+    for r in trace.refs() {
+        fp.observe(r);
+        if r.kind.is_data() {
+            profile.observe(r.addr.line(opts.line_size));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("trace: {} ({})\n\n", trace.name(), stats));
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["instruction refs".to_owned(), stats.instruction_refs.to_string()]);
+    t.row(["loads".to_owned(), stats.loads.to_string()]);
+    t.row(["stores".to_owned(), stats.stores.to_string()]);
+    t.row([
+        "data/instr".to_owned(),
+        format!("{:.3}", stats.data_per_instr()),
+    ]);
+    t.row([
+        "code footprint".to_owned(),
+        format!("{} KB", fp.instr_bytes() / 1024),
+    ]);
+    t.row([
+        "data footprint".to_owned(),
+        format!("{} KB", fp.data_bytes() / 1024),
+    ]);
+    out.push_str(&t.render());
+
+    // Data-side miss-rate curve: FA-LRU (stack distances) vs direct-mapped.
+    out.push_str("\ndata-side miss rates by cache size:\n");
+    let mut curve = Table::new(["size", "direct-mapped", "FA-LRU", "3-C conflict %"]);
+    for exp in 0..8u32 {
+        let size = 1024u64 << exp;
+        if size < opts.line_size * 2 {
+            continue;
+        }
+        let geom = CacheGeometry::direct_mapped(size, opts.line_size)
+            .map_err(|e| UsageError(format!("geometry: {e}")))?;
+        let mut dm = ClassifiedCache::new(geom);
+        for r in trace.refs().filter(|r| r.kind.is_data()) {
+            dm.access(r.addr);
+        }
+        curve.row([
+            format!("{}KB", size / 1024),
+            format!("{:.4}", dm.stats().miss_rate()),
+            format!(
+                "{:.4}",
+                profile.miss_rate_for_capacity((size / opts.line_size) as usize)
+            ),
+            format!("{:.0}%", 100.0 * dm.breakdown().conflict_fraction()),
+        ]);
+    }
+    out.push_str(&curve.render());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<StatOptions, UsageError> {
+        parse_stat_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_options_parse() {
+        assert_eq!(parse(&[]).unwrap(), StatOptions::default());
+        let o = parse(&["--workload", "liver", "--line", "32", "--scale", "1000", "--seed", "5"])
+            .unwrap();
+        assert_eq!(o.input, crate::Input::Workload(Benchmark::Liver));
+        assert_eq!(o.line_size, 32);
+        assert_eq!(o.scale, 1000);
+        assert_eq!(o.seed, 5);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(parse(&["--workload", "x"]).is_err());
+        assert!(parse(&["--line", "48"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn stat_report_covers_footprints_and_curves() {
+        let mut o = parse(&["--workload", "met"]).unwrap();
+        o.scale = 10_000;
+        let out = run_stat(&o).unwrap();
+        assert!(out.contains("data footprint"));
+        assert!(out.contains("FA-LRU"));
+        assert!(out.contains("1KB"));
+        assert!(out.contains("met"));
+    }
+
+    #[test]
+    fn stat_on_missing_file_errors_cleanly() {
+        let o = StatOptions {
+            input: crate::Input::TraceFile("/does/not/exist.din".into()),
+            ..StatOptions::default()
+        };
+        assert!(run_stat(&o).is_err());
+    }
+}

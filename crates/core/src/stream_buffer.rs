@@ -1,0 +1,462 @@
+//! The sequential stream buffer of §4.1.
+
+use std::collections::VecDeque;
+
+use jouppi_trace::LineAddr;
+
+/// Configuration for a [`StreamBuffer`].
+///
+/// * `depth` — number of FIFO entries (the paper uses 4).
+/// * `max_run` — how many lines beyond the original miss the buffer may
+///   prefetch before the stream must be restarted by a new miss. Figures
+///   4-3/4-5 sweep exactly this parameter ("length of stream run");
+///   `None` means unlimited (fetch until flushed, the paper's "fetch until
+///   the end of a virtual-memory page" deployment).
+/// * `latency` — ticks between issuing a prefetch and the line becoming
+///   available. The refill path is modeled as fully pipelined (the paper's
+///   second-level cache is pipelined precisely so the buffer can keep many
+///   fetches in flight). `0` (the default) makes prefetched data available
+///   immediately, which matches the paper's miss-removal accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamBufferConfig {
+    depth: usize,
+    max_run: Option<usize>,
+    latency: u64,
+}
+
+impl StreamBufferConfig {
+    /// Creates a configuration with the given FIFO depth, unlimited run
+    /// length, and zero latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "stream buffer depth must be nonzero");
+        StreamBufferConfig {
+            depth,
+            max_run: None,
+            latency: 0,
+        }
+    }
+
+    /// Limits how many lines may be prefetched per stream run.
+    #[must_use]
+    pub fn max_run(mut self, lines: usize) -> Self {
+        self.max_run = Some(lines);
+        self
+    }
+
+    /// Sets the prefetch completion latency in ticks.
+    #[must_use]
+    pub fn latency(mut self, ticks: u64) -> Self {
+        self.latency = ticks;
+        self
+    }
+
+    /// The FIFO depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The per-run prefetch budget, if limited.
+    pub fn run_limit(&self) -> Option<usize> {
+        self.max_run
+    }
+
+    /// The prefetch completion latency in ticks.
+    pub fn latency_ticks(&self) -> u64 {
+        self.latency
+    }
+}
+
+impl Default for StreamBufferConfig {
+    /// The paper's four-entry buffer with unlimited run and zero latency.
+    fn default() -> Self {
+        StreamBufferConfig::new(4)
+    }
+}
+
+/// Result of probing a stream buffer on a cache miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamProbe {
+    /// The head entry matches and its data has arrived: the cache can be
+    /// reloaded in one cycle.
+    HitReady,
+    /// The head entry matches but the prefetch is still in flight; the
+    /// processor stalls for the remaining ticks (less than a full miss).
+    HitPending {
+        /// Ticks remaining until the line arrives.
+        remaining: u64,
+    },
+    /// The head does not match (only the head has a comparator).
+    Miss,
+}
+
+impl StreamProbe {
+    /// Returns `true` for either hit variant.
+    pub const fn is_hit(&self) -> bool {
+        !matches!(self, StreamProbe::Miss)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    line: LineAddr,
+    ready_at: u64,
+}
+
+/// A sequential stream buffer: a FIFO of prefetched lines following a cache
+/// miss, with a tag comparator on the head entry only (§4.1).
+///
+/// On a miss the buffer begins prefetching successive lines starting *after*
+/// the miss target; prefetched lines stay in the buffer (not the cache) to
+/// avoid pollution. A subsequent miss that matches the head supplies the
+/// line in one cycle; the queue shifts up and the next sequential line is
+/// fetched. A miss that does not match the head flushes and restarts the
+/// buffer — even if the line is further down the queue.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_core::{StreamBuffer, StreamBufferConfig, StreamProbe};
+/// use jouppi_trace::LineAddr;
+///
+/// let mut sb = StreamBuffer::new(StreamBufferConfig::new(4));
+/// sb.restart(LineAddr::new(100), 0);          // miss at line 100
+/// // The purely sequential reference stream now hits in the buffer:
+/// for n in 101..120 {
+///     assert_eq!(sb.probe_consume(LineAddr::new(n), 0), StreamProbe::HitReady);
+/// }
+/// // A non-sequential miss flushes the buffer:
+/// assert_eq!(sb.probe_consume(LineAddr::new(500), 0), StreamProbe::Miss);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamBuffer {
+    cfg: StreamBufferConfig,
+    queue: VecDeque<Entry>,
+    next_line: LineAddr,
+    /// Line-address step between prefetches. 1 for the paper's sequential
+    /// buffers; other values support the non-unit-stride extension the
+    /// paper lists as future work (see [`crate::stride`]).
+    stride: i64,
+    run_remaining: usize,
+    active: bool,
+    /// Tick of the most recent hit or restart; multi-way allocation uses
+    /// this for LRU selection.
+    last_use: u64,
+}
+
+impl StreamBuffer {
+    /// Creates an idle stream buffer.
+    pub fn new(cfg: StreamBufferConfig) -> Self {
+        StreamBuffer {
+            cfg,
+            queue: VecDeque::with_capacity(cfg.depth),
+            next_line: LineAddr::new(0),
+            stride: 1,
+            run_remaining: 0,
+            active: false,
+            last_use: 0,
+        }
+    }
+
+    /// The buffer's configuration.
+    pub fn config(&self) -> &StreamBufferConfig {
+        &self.cfg
+    }
+
+    /// Returns `true` if the buffer currently tracks a stream.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Tick of the most recent hit or restart (LRU metadata).
+    pub fn last_use(&self) -> u64 {
+        self.last_use
+    }
+
+    /// The line at the head of the FIFO, if any.
+    pub fn head(&self) -> Option<LineAddr> {
+        self.queue.front().map(|e| e.line)
+    }
+
+    /// Number of prefetched lines currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no lines are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Returns `true` if `line` is anywhere in the FIFO. The hardware
+    /// cannot see past the head; this exists for overlap statistics and
+    /// tests.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.queue.iter().any(|e| e.line == line)
+    }
+
+    /// Compares `line` against the head entry without consuming it.
+    pub fn probe(&self, line: LineAddr, now: u64) -> StreamProbe {
+        match self.queue.front() {
+            Some(head) if head.line == line => {
+                if head.ready_at <= now {
+                    StreamProbe::HitReady
+                } else {
+                    StreamProbe::HitPending {
+                        remaining: head.ready_at - now,
+                    }
+                }
+            }
+            _ => StreamProbe::Miss,
+        }
+    }
+
+    /// Probes on a cache miss and, on a head hit, consumes the entry
+    /// (shifting the queue up and extending the prefetch run). On a miss
+    /// the buffer is left untouched — callers decide whether to
+    /// [`restart`](StreamBuffer::restart) it (a single buffer restarts
+    /// itself; a multi-way buffer restarts only the LRU way).
+    pub fn probe_consume(&mut self, line: LineAddr, now: u64) -> StreamProbe {
+        let probe = self.probe(line, now);
+        if probe.is_hit() {
+            self.queue.pop_front();
+            self.last_use = now;
+            self.refill(now);
+        }
+        probe
+    }
+
+    /// Flushes the buffer and starts a new unit-stride stream at the line
+    /// *after* `miss`, issuing prefetches up to the FIFO depth (subject to
+    /// the run budget).
+    pub fn restart(&mut self, miss: LineAddr, now: u64) {
+        self.restart_strided(miss, 1, now);
+    }
+
+    /// Flushes the buffer and starts a stream advancing `stride` lines per
+    /// prefetch — the non-unit-stride extension (§5 lists mixed-stride
+    /// numeric programs as future work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero (a stream must move).
+    pub fn restart_strided(&mut self, miss: LineAddr, stride: i64, now: u64) {
+        assert!(stride != 0, "a stream must advance");
+        self.queue.clear();
+        self.stride = stride;
+        self.next_line = LineAddr::new(miss.get().wrapping_add_signed(stride));
+        self.run_remaining = self.cfg.max_run.unwrap_or(usize::MAX);
+        self.active = true;
+        self.last_use = now;
+        self.refill(now);
+    }
+
+    /// The stream's current stride in lines (1 for sequential buffers).
+    pub fn stride(&self) -> i64 {
+        self.stride
+    }
+
+    /// Flushes the buffer and makes it idle.
+    pub fn flush(&mut self) {
+        self.queue.clear();
+        self.run_remaining = 0;
+        self.active = false;
+    }
+
+    fn refill(&mut self, now: u64) {
+        while self.queue.len() < self.cfg.depth && self.run_remaining > 0 {
+            self.queue.push_back(Entry {
+                line: self.next_line,
+                ready_at: now + self.cfg.latency,
+            });
+            self.next_line = LineAddr::new(self.next_line.get().wrapping_add_signed(self.stride));
+            self.run_remaining -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn sequential_stream_hits_after_restart() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::new(4));
+        sb.restart(l(10), 0);
+        assert!(sb.is_active());
+        for n in 11..40 {
+            assert_eq!(sb.probe_consume(l(n), 0), StreamProbe::HitReady);
+        }
+    }
+
+    #[test]
+    fn only_head_has_a_comparator() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::new(4));
+        sb.restart(l(10), 0);
+        // Line 13 is in the buffer (entries 11,12,13,14) but not at the head.
+        assert!(sb.contains(l(13)));
+        assert_eq!(sb.probe_consume(l(13), 0), StreamProbe::Miss);
+    }
+
+    #[test]
+    fn skipping_a_line_forces_restart() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::new(4));
+        sb.restart(l(10), 0);
+        assert_eq!(sb.probe_consume(l(11), 0), StreamProbe::HitReady);
+        // Reference skips to 13: head is 12 → miss; caller restarts.
+        assert_eq!(sb.probe_consume(l(13), 0), StreamProbe::Miss);
+        sb.restart(l(13), 0);
+        assert_eq!(sb.head(), Some(l(14)));
+    }
+
+    #[test]
+    fn run_budget_limits_prefetching() {
+        let cfg = StreamBufferConfig::new(4).max_run(2);
+        let mut sb = StreamBuffer::new(cfg);
+        sb.restart(l(10), 0);
+        assert_eq!(sb.len(), 2); // only 11 and 12 may be fetched
+        assert_eq!(sb.probe_consume(l(11), 0), StreamProbe::HitReady);
+        assert_eq!(sb.probe_consume(l(12), 0), StreamProbe::HitReady);
+        assert!(sb.is_empty());
+        // Budget exhausted: the stream cannot continue.
+        assert_eq!(sb.probe_consume(l(13), 0), StreamProbe::Miss);
+        // A restart renews the budget.
+        sb.restart(l(13), 0);
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn zero_run_budget_never_hits() {
+        let cfg = StreamBufferConfig::new(4).max_run(0);
+        let mut sb = StreamBuffer::new(cfg);
+        sb.restart(l(10), 0);
+        assert!(sb.is_empty());
+        assert_eq!(sb.probe_consume(l(11), 0), StreamProbe::Miss);
+    }
+
+    #[test]
+    fn consumption_extends_the_run_within_budget() {
+        let cfg = StreamBufferConfig::new(2).max_run(5);
+        let mut sb = StreamBuffer::new(cfg);
+        sb.restart(l(0), 0); // fetches 1,2 (budget 3 left)
+        assert_eq!(sb.probe_consume(l(1), 0), StreamProbe::HitReady); // fetch 3
+        assert_eq!(sb.probe_consume(l(2), 0), StreamProbe::HitReady); // fetch 4
+        assert_eq!(sb.probe_consume(l(3), 0), StreamProbe::HitReady); // fetch 5
+        assert_eq!(sb.probe_consume(l(4), 0), StreamProbe::HitReady);
+        assert_eq!(sb.probe_consume(l(5), 0), StreamProbe::HitReady);
+        // 5 lines beyond the miss fetched; budget exhausted.
+        assert_eq!(sb.probe_consume(l(6), 0), StreamProbe::Miss);
+    }
+
+    #[test]
+    fn latency_makes_hits_pending_until_arrival() {
+        let cfg = StreamBufferConfig::new(4).latency(12);
+        let mut sb = StreamBuffer::new(cfg);
+        sb.restart(l(10), 100);
+        match sb.probe(l(11), 104) {
+            StreamProbe::HitPending { remaining } => assert_eq!(remaining, 8),
+            other => panic!("expected pending, got {other:?}"),
+        }
+        assert_eq!(sb.probe(l(11), 112), StreamProbe::HitReady);
+        assert_eq!(sb.probe(l(11), 200), StreamProbe::HitReady);
+    }
+
+    #[test]
+    fn pending_hit_is_still_consumed() {
+        let cfg = StreamBufferConfig::new(2).latency(10);
+        let mut sb = StreamBuffer::new(cfg);
+        sb.restart(l(0), 0);
+        assert!(matches!(
+            sb.probe_consume(l(1), 5),
+            StreamProbe::HitPending { remaining: 5 }
+        ));
+        // Next entry was fetched at restart (t=0) so it's ready at 10.
+        assert_eq!(sb.probe_consume(l(2), 10), StreamProbe::HitReady);
+    }
+
+    #[test]
+    fn flush_deactivates() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::default());
+        sb.restart(l(10), 0);
+        sb.flush();
+        assert!(!sb.is_active());
+        assert!(sb.is_empty());
+        assert_eq!(sb.head(), None);
+        assert_eq!(sb.probe(l(11), 0), StreamProbe::Miss);
+    }
+
+    #[test]
+    fn last_use_tracks_hits_and_restarts() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::default());
+        sb.restart(l(10), 3);
+        assert_eq!(sb.last_use(), 3);
+        sb.probe_consume(l(11), 7);
+        assert_eq!(sb.last_use(), 7);
+        sb.probe_consume(l(99), 9); // miss: not a use
+        assert_eq!(sb.last_use(), 7);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let cfg = StreamBufferConfig::new(8).max_run(16).latency(5);
+        assert_eq!(cfg.depth(), 8);
+        assert_eq!(cfg.run_limit(), Some(16));
+        assert_eq!(cfg.latency_ticks(), 5);
+        assert_eq!(StreamBufferConfig::default().depth(), 4);
+        assert_eq!(StreamBufferConfig::default().run_limit(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be nonzero")]
+    fn zero_depth_panics() {
+        let _ = StreamBufferConfig::new(0);
+    }
+
+    #[test]
+    fn strided_stream_follows_its_stride() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::new(4));
+        sb.restart_strided(l(100), 50, 0);
+        assert_eq!(sb.stride(), 50);
+        for n in 1..10u64 {
+            assert_eq!(
+                sb.probe_consume(l(100 + 50 * n), 0),
+                StreamProbe::HitReady,
+                "step {n}"
+            );
+        }
+        // Unit-stride references do not match a 50-stride stream.
+        sb.restart_strided(l(100), 50, 0);
+        assert_eq!(sb.probe_consume(l(101), 0), StreamProbe::Miss);
+    }
+
+    #[test]
+    fn negative_stride_walks_backwards() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::new(4));
+        sb.restart_strided(l(1000), -2, 0);
+        assert_eq!(sb.probe_consume(l(998), 0), StreamProbe::HitReady);
+        assert_eq!(sb.probe_consume(l(996), 0), StreamProbe::HitReady);
+    }
+
+    #[test]
+    fn plain_restart_resets_stride_to_one() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::new(2));
+        sb.restart_strided(l(0), 7, 0);
+        sb.restart(l(100), 1);
+        assert_eq!(sb.stride(), 1);
+        assert_eq!(sb.probe_consume(l(101), 1), StreamProbe::HitReady);
+    }
+
+    #[test]
+    #[should_panic(expected = "must advance")]
+    fn zero_stride_panics() {
+        let mut sb = StreamBuffer::new(StreamBufferConfig::new(2));
+        sb.restart_strided(l(0), 0, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! A write buffer between a write-through L1 and the second-level cache.
+//!
+//! §2 of the paper argues the second-level cache must be *pipelined* from
+//! bandwidth alone: "stores typically occur at an average rate of 1 in
+//! every 6 or 7 instructions, [so] an unpipelined external cache would
+//! not have even enough bandwidth to handle the store traffic for access
+//! times greater than seven instruction times." A write buffer decouples
+//! the processor from that latency — until it fills. This model exposes
+//! exactly that behaviour: stores enqueue instantly while there is room,
+//! the buffer drains one entry per `accept_interval` ticks (the L2's
+//! issue rate), and a store arriving at a full buffer stalls until a slot
+//! frees.
+
+/// A FIFO write buffer draining into a pipelined (or not) next level.
+///
+/// Time is a caller-supplied monotone tick counter (instruction times).
+///
+/// # Examples
+///
+/// A deep enough buffer with a fast-draining L2 absorbs store bursts:
+///
+/// ```
+/// use jouppi_core::WriteBuffer;
+///
+/// let mut wb = WriteBuffer::new(4, 2); // 4 entries, drains 1 per 2 ticks
+/// let mut stalls = 0;
+/// for t in 0..100u64 {
+///     stalls += wb.store(t * 7); // a store every 7 instruction times
+/// }
+/// assert_eq!(stalls, 0); // drain rate exceeds store rate: never stalls
+/// ```
+#[derive(Clone, Debug)]
+pub struct WriteBuffer {
+    depth: usize,
+    accept_interval: u64,
+    /// Completion times of queued writes (monotone, front = oldest).
+    completions: std::collections::VecDeque<u64>,
+    /// When the next level can accept another write.
+    next_free: u64,
+    stall_ticks: u64,
+    stores: u64,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer with `depth` entries draining one write per
+    /// `accept_interval` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `accept_interval` is zero.
+    pub fn new(depth: usize, accept_interval: u64) -> Self {
+        assert!(depth > 0, "write buffer needs at least one entry");
+        assert!(accept_interval > 0, "the next level must accept writes");
+        WriteBuffer {
+            depth,
+            accept_interval,
+            completions: std::collections::VecDeque::with_capacity(depth),
+            next_free: 0,
+            stall_ticks: 0,
+            stores: 0,
+        }
+    }
+
+    /// Buffer capacity in entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Ticks between writes the next level accepts.
+    pub fn accept_interval(&self) -> u64 {
+        self.accept_interval
+    }
+
+    /// Entries still in flight at time `now`.
+    pub fn occupancy(&self, now: u64) -> usize {
+        self.completions.iter().filter(|&&c| c > now).count()
+    }
+
+    /// Issues a store at time `now`; returns the stall ticks the
+    /// processor pays (0 if the buffer had room).
+    ///
+    /// `now` must be monotone and must account for previously returned
+    /// stalls — a stalled processor does not keep issuing: advance your
+    /// clock by the return value before the next reference.
+    pub fn store(&mut self, now: u64) -> u64 {
+        self.stores += 1;
+        // Retire completed writes.
+        while matches!(self.completions.front(), Some(&c) if c <= now) {
+            self.completions.pop_front();
+        }
+        let stall = if self.completions.len() == self.depth {
+            // Full: wait until the oldest write completes.
+            let free_at = *self.completions.front().expect("full buffer");
+            let stall = free_at.saturating_sub(now);
+            self.completions.pop_front();
+            stall
+        } else {
+            0
+        };
+        let issue_at = self.next_free.max(now + stall);
+        let done = issue_at + self.accept_interval;
+        self.next_free = done;
+        self.completions.push_back(done);
+        self.stall_ticks += stall;
+        stall
+    }
+
+    /// Total stall ticks paid so far.
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_ticks
+    }
+
+    /// Total stores issued.
+    pub fn total_stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Average stall per store (0.0 with no stores).
+    pub fn stall_per_store(&self) -> f64 {
+        if self.stores == 0 {
+            0.0
+        } else {
+            self.stall_ticks as f64 / self.stores as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_drain_never_stalls() {
+        let mut wb = WriteBuffer::new(4, 2);
+        for t in 0..1000u64 {
+            assert_eq!(wb.store(t * 7), 0);
+        }
+        assert_eq!(wb.total_stalls(), 0);
+        assert_eq!(wb.total_stores(), 1000);
+    }
+
+    #[test]
+    fn slow_drain_eventually_stalls_every_store() {
+        // §2's claim: stores 1-in-7 instructions, unpipelined L2 slower
+        // than 7 instruction times per access ⇒ bandwidth-limited. The
+        // clock advances by the stall each time (a stalled processor
+        // stops issuing).
+        let mut wb = WriteBuffer::new(4, 16); // accepts 1 write per 16 ticks
+        let mut now = 0u64;
+        let mut stalled = 0;
+        for _ in 0..1000u64 {
+            now += 7; // seven instruction times of useful work
+            let stall = wb.store(now);
+            now += stall;
+            if stall > 0 {
+                stalled += 1;
+            }
+        }
+        assert!(stalled > 900, "only {stalled} stores stalled");
+        // Steady state: each store waits the bandwidth deficit (16 − 7).
+        let per_store = wb.stall_per_store();
+        assert!(
+            (8.0..10.0).contains(&per_store),
+            "expected ~9 ticks/store deficit, got {per_store}"
+        );
+    }
+
+    #[test]
+    fn break_even_at_the_store_interval() {
+        // Accept interval equal to the store interval: keeps up exactly.
+        let mut wb = WriteBuffer::new(2, 7);
+        for t in 0..1000u64 {
+            assert_eq!(wb.store(t * 7), 0, "at t={t}");
+        }
+    }
+
+    #[test]
+    fn deeper_buffers_absorb_longer_bursts() {
+        let burst = |depth: usize| {
+            let mut wb = WriteBuffer::new(depth, 10);
+            // A burst of back-to-back stores, then silence.
+            (0..12u64).map(|i| wb.store(i)).sum::<u64>()
+        };
+        let shallow = burst(2);
+        let deep = burst(8);
+        assert!(deep < shallow, "depth 8 ({deep}) vs depth 2 ({shallow})");
+    }
+
+    #[test]
+    fn occupancy_tracks_in_flight_writes() {
+        let mut wb = WriteBuffer::new(4, 10);
+        wb.store(0); // completes at 10
+        wb.store(0); // completes at 20
+        assert_eq!(wb.occupancy(5), 2);
+        assert_eq!(wb.occupancy(15), 1);
+        assert_eq!(wb.occupancy(25), 0);
+        assert_eq!(wb.depth(), 4);
+        assert_eq!(wb.accept_interval(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_depth_panics() {
+        let _ = WriteBuffer::new(0, 1);
+    }
+}

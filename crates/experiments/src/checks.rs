@@ -1,0 +1,374 @@
+//! The reproduction certificate: every qualitative claim the paper makes,
+//! checked programmatically against a fresh run.
+//!
+//! `repro --check` runs the full experiment suite and grades each claim
+//! PASS/FAIL, printing the measured values. This is the machine-readable
+//! version of EXPERIMENTS.md: the same shape targets the test suite
+//! enforces at small scales, evaluated at whatever `--scale` the user
+//! asks for.
+
+use jouppi_workloads::Benchmark;
+
+use crate::common::ExperimentConfig;
+use crate::{
+    conflict_sweep, ext_associativity, ext_penalty, ext_stride, fig_3_1, fig_4_1, fig_5_1,
+    overlap, stream_geometry, stream_sweep, tables, victim_geometry,
+};
+
+/// One checked claim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClaimResult {
+    /// Which paper artifact the claim belongs to.
+    pub artifact: &'static str,
+    /// The claim, in the paper's terms.
+    pub claim: &'static str,
+    /// Whether the reproduction satisfies it.
+    pub pass: bool,
+    /// Measured values backing the verdict.
+    pub details: String,
+}
+
+/// Runs every claim check. Expensive: executes most of the experiment
+/// suite at the given scale.
+pub fn run_all(cfg: &ExperimentConfig) -> Vec<ClaimResult> {
+    let mut out = Vec::new();
+    let mut claim = |artifact, claim, pass, details: String| {
+        out.push(ClaimResult {
+            artifact,
+            claim,
+            pass,
+            details,
+        });
+    };
+
+    // Table 2-2: calibration bands.
+    let t22 = tables::table_2_2(cfg);
+    let mut worst: f64 = 0.0;
+    for r in &t22.rows {
+        let p = r.benchmark.paper_row();
+        if p.baseline_data_miss_rate > 0.0 {
+            worst = worst.max((r.data_miss_rate / p.baseline_data_miss_rate - 1.0).abs());
+        }
+        if p.baseline_instr_miss_rate > 0.005 {
+            worst = worst.max((r.instr_miss_rate / p.baseline_instr_miss_rate - 1.0).abs());
+        }
+    }
+    claim(
+        "Table 2-2",
+        "baseline miss rates track the paper's (within 60% relative)",
+        worst < 0.6,
+        format!("worst relative deviation {:.0}%", 100.0 * worst),
+    );
+
+    // Figure 3-1.
+    let f31 = fig_3_1::run(cfg);
+    let (i_avg, d_avg) = (
+        f31.avg_instr_conflict_fraction(),
+        f31.avg_data_conflict_fraction(),
+    );
+    claim(
+        "Figure 3-1",
+        "conflicts are 20-40%+ of misses (paper: 29% I, 39% D)",
+        (0.1..0.5).contains(&i_avg) && (0.25..0.62).contains(&d_avg),
+        format!("avg I {:.0}%, avg D {:.0}%", 100.0 * i_avg, 100.0 * d_avg),
+    );
+    claim(
+        "Figure 3-1",
+        "met has by far the highest data conflict ratio",
+        f31.highest_data_conflict() == Benchmark::Met,
+        format!("highest: {}", f31.highest_data_conflict()),
+    );
+
+    // Figures 3-3 / 3-5.
+    let mc = conflict_sweep::run(cfg, conflict_sweep::Mechanism::MissCache, 5);
+    let vc = conflict_sweep::run(cfg, conflict_sweep::Mechanism::VictimCache, 5);
+    claim(
+        "Figure 3-3",
+        "2-entry miss caches remove ~25% of data conflicts (paper: 25%)",
+        (12.0..50.0).contains(&mc.avg_data(2)),
+        format!("measured {:.0}%", mc.avg_data(2)),
+    );
+    claim(
+        "Figure 3-3",
+        "1-entry miss caches are nearly useless",
+        mc.avg_data(1) < 5.0,
+        format!("measured {:.1}%", mc.avg_data(1)),
+    );
+    let vc_dominates = (1..=5).all(|n| vc.avg_data(n) + 1e-9 >= mc.avg_data(n));
+    claim(
+        "Figure 3-5",
+        "victim caching is always an improvement over miss caching",
+        vc_dominates,
+        format!(
+            "VC {:.0}/{:.0}/{:.0}% vs MC {:.0}/{:.0}/{:.0}% at 1/2/4 entries",
+            vc.avg_data(1),
+            vc.avg_data(2),
+            vc.avg_data(4),
+            mc.avg_data(1),
+            mc.avg_data(2),
+            mc.avg_data(4)
+        ),
+    );
+    claim(
+        "Figure 3-5",
+        "one-entry victim caches are useful",
+        vc.avg_data(1) > 15.0,
+        format!("measured {:.0}%", vc.avg_data(1)),
+    );
+
+    // Figure 3-6.
+    let f36 = victim_geometry::run(
+        cfg,
+        victim_geometry::GeometryAxis::CacheSize,
+        &[1024, 4096, 32 << 10],
+    );
+    claim(
+        "Figure 3-6",
+        "smaller direct-mapped caches benefit most from victim caching",
+        f36.removed_at(4, 1024) >= f36.removed_at(4, 32 << 10) - 10.0,
+        format!(
+            "4-entry VC: {:.0}% at 1KB vs {:.0}% at 32KB",
+            f36.removed_at(4, 1024),
+            f36.removed_at(4, 32 << 10)
+        ),
+    );
+
+    // Figure 3-7.
+    let f37 = victim_geometry::run(
+        cfg,
+        victim_geometry::GeometryAxis::LineSize,
+        &[16, 128],
+    );
+    claim(
+        "Figure 3-7",
+        "conflict share and victim-cache benefit grow with line size",
+        f37.conflict_pct[1] > f37.conflict_pct[0] * 0.7
+            && f37.removed_at(4, 128) > f37.removed_at(4, 16),
+        format!(
+            "conflict {:.0}%→{:.0}%, VC(4) {:.0}%→{:.0}% from 16B→128B",
+            f37.conflict_pct[0],
+            f37.conflict_pct[1],
+            f37.removed_at(4, 16),
+            f37.removed_at(4, 128)
+        ),
+    );
+
+    // Figure 4-1.
+    let f41 = fig_4_1::run(cfg);
+    let soon = f41.within(jouppi_core::prefetch::PrefetchTechnique::Tagged, 6);
+    claim(
+        "Figure 4-1",
+        "prefetched lines are needed within a few instruction issues",
+        soon > 0.5,
+        format!("{:.0}% of useful tagged prefetches needed within 6 issues", 100.0 * soon),
+    );
+
+    // Figures 4-3 / 4-5.
+    let single = stream_sweep::run(cfg, 1, 16);
+    let multi = stream_sweep::run(cfg, 4, 16);
+    claim(
+        "Figure 4-3",
+        "single stream buffers remove far more I-misses than D-misses (paper: 72% vs 25%)",
+        single.avg_instr(16) > single.avg_data(16) && single.avg_instr(16) > 55.0,
+        format!(
+            "I {:.0}%, D {:.0}%",
+            single.avg_instr(16),
+            single.avg_data(16)
+        ),
+    );
+    claim(
+        "Figure 4-5",
+        "4-way buffers roughly double data-side removal (paper: 25%→43%)",
+        multi.avg_data(16) > single.avg_data(16) * 1.4,
+        format!(
+            "single {:.0}% → 4-way {:.0}%",
+            single.avg_data(16),
+            multi.avg_data(16)
+        ),
+    );
+    let liver_single = single
+        .benchmark_curve(Benchmark::Liver, crate::common::Side::Data)
+        .map(|c| c[16])
+        .unwrap_or(0.0);
+    let liver_multi = multi
+        .benchmark_curve(Benchmark::Liver, crate::common::Side::Data)
+        .map(|c| c[16])
+        .unwrap_or(0.0);
+    claim(
+        "Figure 4-5",
+        "liver gains most from multi-way buffers (paper: 7%→60%)",
+        liver_multi > liver_single + 20.0,
+        format!("{liver_single:.0}% → {liver_multi:.0}%"),
+    );
+
+    // Figure 4-6.
+    let f46 = stream_geometry::run(
+        cfg,
+        victim_geometry::GeometryAxis::CacheSize,
+        &[1024, 16 << 10],
+    );
+    claim(
+        "Figure 4-6",
+        "instruction stream-buffer performance is remarkably constant vs cache size",
+        (f46.single_instr[0] - f46.single_instr[1]).abs() < 30.0,
+        format!(
+            "{:.0}% at 1KB vs {:.0}% at 16KB",
+            f46.single_instr[0], f46.single_instr[1]
+        ),
+    );
+
+    // Figure 4-7.
+    let f47 = stream_geometry::run(
+        cfg,
+        victim_geometry::GeometryAxis::LineSize,
+        &[8, 128],
+    );
+    claim(
+        "Figure 4-7",
+        "data-side stream-buffer benefit falls steeply with line size",
+        f47.single_data[0] > f47.single_data[1] * 1.5,
+        format!("single D {:.0}% → {:.0}% from 8B→128B", f47.single_data[0], f47.single_data[1]),
+    );
+
+    // §5 overlap.
+    let ov = overlap::run(cfg);
+    let non_linpack: f64 = ov
+        .rows
+        .iter()
+        .filter(|r| r.benchmark != Benchmark::Linpack)
+        .map(|r| r.overlap_fraction)
+        .sum::<f64>()
+        / 5.0;
+    claim(
+        "§5 overlap",
+        "victim caches and stream buffers are near-orthogonal (paper: ~2.5%)",
+        non_linpack < 0.15,
+        format!("avg non-linpack overlap {:.1}%", 100.0 * non_linpack),
+    );
+    claim(
+        "§5 overlap",
+        "linpack benefits least from victim caching (paper: ~4% of misses)",
+        ov.row(Benchmark::Linpack)
+            .is_some_and(|r| r.vc_hit_fraction < 0.15),
+        format!(
+            "linpack VC hits {:.1}% of misses",
+            100.0 * ov.row(Benchmark::Linpack).map(|r| r.vc_hit_fraction).unwrap_or(1.0)
+        ),
+    );
+
+    // Figure 5-1.
+    let f51 = fig_5_1::run(cfg);
+    claim(
+        "Figure 5-1",
+        "combined mechanisms cut the L1 miss rate by 2-3x",
+        f51.avg_miss_rate_ratio() < 0.5,
+        format!("miss-rate ratio {:.2}", f51.avg_miss_rate_ratio()),
+    );
+    claim(
+        "Figure 5-1",
+        "large average system-performance improvement (paper: 143%)",
+        (60.0..=300.0).contains(&f51.avg_improvement_pct()),
+        format!("measured {:.0}%", f51.avg_improvement_pct()),
+    );
+
+    // Extensions.
+    let stride = ext_stride::run(cfg);
+    claim(
+        "§4.1 / ext-stride",
+        "sequential buffers only help unit or near-unit stride",
+        stride.row(800).is_some_and(|r| r.sequential_removed < 25.0)
+            && stride.row(8).is_some_and(|r| r.sequential_removed > 60.0),
+        format!(
+            "unit {:.0}%, 50-line stride {:.0}%",
+            stride.row(8).map(|r| r.sequential_removed).unwrap_or(0.0),
+            stride.row(800).map(|r| r.sequential_removed).unwrap_or(0.0)
+        ),
+    );
+    let assoc = ext_associativity::run(cfg);
+    claim(
+        "§3 / ext-associativity",
+        "a small victim cache recovers most of associativity's miss-rate benefit",
+        assoc.gap_closed_by_vc4() > 0.5,
+        format!("VC(4) closes {:.0}% of the DM→2-way gap", 100.0 * assoc.gap_closed_by_vc4()),
+    );
+    let penalty = ext_penalty::run(cfg);
+    claim(
+        "Table 1-1 / ext-penalty",
+        "the mechanisms' value grows with miss cost",
+        penalty.improvement_at(140) > penalty.improvement_at(2) * 3.0,
+        format!(
+            "{:.0}% at penalty 2 vs {:.0}% at 140",
+            penalty.improvement_at(2),
+            penalty.improvement_at(140)
+        ),
+    );
+
+    out
+}
+
+/// Renders claim results as a PASS/FAIL table; returns `(text, all_pass)`.
+pub fn render(results: &[ClaimResult]) -> (String, bool) {
+    let mut t = jouppi_report::Table::new(["", "artifact", "claim", "measured"]);
+    let mut all = true;
+    for r in results {
+        all &= r.pass;
+        t.row([
+            if r.pass { "PASS" } else { "FAIL" }.to_owned(),
+            r.artifact.to_owned(),
+            r.claim.to_owned(),
+            r.details.clone(),
+        ]);
+    }
+    let verdict = if all {
+        "all claims reproduced"
+    } else {
+        "SOME CLAIMS FAILED"
+    };
+    (
+        format!(
+            "Reproduction certificate ({} claims)\n{}\n{verdict}\n",
+            results.len(),
+            t.render()
+        ),
+        all,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_claims_pass_at_test_scale() {
+        let cfg = ExperimentConfig::with_scale(100_000);
+        let results = run_all(&cfg);
+        assert!(results.len() >= 15, "expected a full claim list");
+        let (text, all) = render(&results);
+        assert!(
+            all,
+            "failed claims:\n{}",
+            results
+                .iter()
+                .filter(|r| !r.pass)
+                .map(|r| format!("{}: {} ({})", r.artifact, r.claim, r.details))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(text.contains("PASS"));
+        assert!(text.contains("all claims reproduced"));
+    }
+
+    #[test]
+    fn render_reports_failures() {
+        let results = vec![ClaimResult {
+            artifact: "X",
+            claim: "y",
+            pass: false,
+            details: "z".into(),
+        }];
+        let (text, all) = render(&results);
+        assert!(!all);
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("SOME CLAIMS FAILED"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared experiment infrastructure.
+
+use jouppi_cache::CacheGeometry;
+use jouppi_core::{AugmentedCache, AugmentedConfig, AugmentedStats};
+use jouppi_trace::{AccessKind, MemRef, RecordedTrace};
+use jouppi_workloads::{Benchmark, Scale};
+
+/// Which first-level cache a reference stream feeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Instruction fetches → instruction cache.
+    Instruction,
+    /// Loads and stores → data cache.
+    Data,
+}
+
+impl Side {
+    /// Both sides, instruction first (the paper's convention).
+    pub const BOTH: [Side; 2] = [Side::Instruction, Side::Data];
+
+    /// Returns `true` if `r` belongs to this side.
+    pub fn matches(self, r: &MemRef) -> bool {
+        match self {
+            Side::Instruction => r.kind == AccessKind::InstrFetch,
+            Side::Data => r.kind != AccessKind::InstrFetch,
+        }
+    }
+
+    /// Label used in reports ("L1 I-cache" / "L1 D-cache").
+    pub fn label(self) -> &'static str {
+        match self {
+            Side::Instruction => "L1 I-cache",
+            Side::Data => "L1 D-cache",
+        }
+    }
+}
+
+/// Scale and seed shared by every experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExperimentConfig {
+    /// Trace length in dynamic instructions per benchmark.
+    pub scale: Scale,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    /// 500k instructions per benchmark, seed 42.
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: Scale::new(500_000),
+            seed: 42,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration with the given scale and the default seed.
+    pub fn with_scale(instructions: u64) -> Self {
+        ExperimentConfig {
+            scale: Scale::new(instructions),
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Records each benchmark's trace once and maps `f` over them.
+///
+/// Recording amortizes generation across the many cache configurations an
+/// experiment sweeps.
+pub fn per_benchmark<T>(
+    cfg: &ExperimentConfig,
+    mut f: impl FnMut(Benchmark, &RecordedTrace) -> T,
+) -> Vec<(Benchmark, T)> {
+    Benchmark::ALL
+        .into_iter()
+        .map(|b| {
+            let trace = RecordedTrace::record(&b.source(cfg.scale, cfg.seed));
+            let out = f(b, &trace);
+            (b, out)
+        })
+        .collect()
+}
+
+/// Replays one side of a trace through an augmented cache organization.
+pub fn run_side(trace: &RecordedTrace, side: Side, cfg: AugmentedConfig) -> AugmentedStats {
+    let mut cache = AugmentedCache::new(cfg);
+    for r in trace.as_slice() {
+        if side.matches(r) {
+            cache.access(r.addr);
+        }
+    }
+    *cache.stats()
+}
+
+/// Replays one side through a classified direct-mapped cache, returning
+/// `(misses, breakdown)`.
+pub fn classify_side(
+    trace: &RecordedTrace,
+    side: Side,
+    geom: CacheGeometry,
+) -> (u64, jouppi_cache::MissBreakdown) {
+    let mut cache = jouppi_cache::ClassifiedCache::new(geom);
+    for r in trace.as_slice() {
+        if side.matches(r) {
+            cache.access(r.addr);
+        }
+    }
+    (cache.stats().misses, cache.breakdown())
+}
+
+/// The paper's baseline L1 geometry: 4KB direct-mapped, 16B lines.
+pub fn baseline_l1() -> CacheGeometry {
+    CacheGeometry::direct_mapped(4096, 16).expect("baseline geometry is valid")
+}
+
+/// The paper's summary metric: the unweighted mean over benchmarks of each
+/// benchmark's own percentage (see the §3.1 footnote — this weights every
+/// program equally regardless of its miss rate).
+pub fn average(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Percent of a benchmark's *conflict* misses removed by a mechanism:
+/// `removed / conflict × 100`, clamped at 0 when there were no conflict
+/// misses.
+pub fn pct_of_conflicts_removed(removed: u64, conflict: u64) -> f64 {
+    if conflict == 0 {
+        0.0
+    } else {
+        100.0 * removed as f64 / conflict as f64
+    }
+}
+
+/// Percent of a benchmark's total misses removed: `removed / misses × 100`.
+pub fn pct_of_misses_removed(removed: u64, misses: u64) -> f64 {
+    if misses == 0 {
+        0.0
+    } else {
+        100.0 * removed as f64 / misses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_filters_kinds() {
+        let i = MemRef::instr(jouppi_trace::Addr::new(0));
+        let l = MemRef::load(jouppi_trace::Addr::new(0));
+        let s = MemRef::store(jouppi_trace::Addr::new(0));
+        assert!(Side::Instruction.matches(&i));
+        assert!(!Side::Instruction.matches(&l));
+        assert!(Side::Data.matches(&l));
+        assert!(Side::Data.matches(&s));
+        assert_eq!(Side::Instruction.label(), "L1 I-cache");
+    }
+
+    #[test]
+    fn averages() {
+        assert_eq!(average(&[]), 0.0);
+        assert_eq!(average(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn percentage_helpers_handle_zero() {
+        assert_eq!(pct_of_conflicts_removed(5, 0), 0.0);
+        assert_eq!(pct_of_conflicts_removed(5, 10), 50.0);
+        assert_eq!(pct_of_misses_removed(0, 0), 0.0);
+        assert_eq!(pct_of_misses_removed(3, 12), 25.0);
+    }
+
+    #[test]
+    fn per_benchmark_covers_all_six() {
+        let cfg = ExperimentConfig::with_scale(2_000);
+        let out = per_benchmark(&cfg, |_, t| t.len());
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|(_, n)| *n >= 2_000));
+    }
+
+    #[test]
+    fn run_side_only_sees_matching_refs() {
+        let cfg = ExperimentConfig::with_scale(5_000);
+        let trace = RecordedTrace::record(&Benchmark::Ccom.source(cfg.scale, cfg.seed));
+        let stats = run_side(&trace, Side::Instruction, AugmentedConfig::new(baseline_l1()));
+        assert_eq!(stats.accesses, trace.stats().instruction_refs);
+    }
+}

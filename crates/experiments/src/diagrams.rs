@@ -1,0 +1,160 @@
+//! The paper's organization diagrams (Figures 2-1, 3-2, 3-4, 4-2, 4-4)
+//! as ASCII art, so `repro` covers every numbered figure, not just the
+//! measurement plots.
+
+/// Figure 2-1: the baseline design.
+pub const FIG_2_1: &str = r#"
+Figure 2-1: baseline design
+
+  +--------------------------------------------+
+  |  CPU   FPU   MMU (TLB)                     |   instruction issue
+  |   |           |                            |   250-1000 MIPS
+  |  +---------+ +---------+                   |
+  |  | L1 I $  | | L1 D $  |  4KB each,        |
+  |  | direct- | | direct- |  16B lines        |
+  |  | mapped  | | mapped  |                   |
+  |  +----+----+ +----+----+                   |
+  +-------|-----------|------------------------+  processor chip/module
+          |           |            miss: 24 instruction times
+  +-------+-----------+------------------------+
+  |  L2 cache: 512KB-16MB direct-mapped,       |
+  |  128-256B lines, pipelined (2-3 stages)    |
+  +---------------------+----------------------+
+                        |          miss: 320 instruction times
+  +---------------------+----------------------+
+  |  main memory: 512MB-4GB, ~1000 DRAMs       |
+  +--------------------------------------------+
+"#;
+
+/// Figure 3-2: miss cache organization.
+pub const FIG_3_2: &str = r#"
+Figure 3-2: miss cache organization
+
+     from processor        to processor
+          |                     ^
+          v                     |
+  +-------+---------------------+-------+
+  |      direct-mapped L1 cache         |
+  +-------+---------------------^-------+
+          | miss                | one-cycle reload
+          v                     |
+  +-------+---------------------+-------+
+  |  miss cache: 2-5 entries,           |   loaded with the
+  |  fully associative, LRU             | REQUESTED line on
+  +-------+---------------------^-------+   every L1 miss
+          | miss                | fill (also fills L1)
+          v                     |
+       to second-level cache ---+
+"#;
+
+/// Figure 3-4: victim cache organization.
+pub const FIG_3_4: &str = r#"
+Figure 3-4: victim cache organization
+
+     from processor        to processor
+          |                     ^
+          v                     |
+  +-------+---------------------+-------+
+  |      direct-mapped L1 cache         |
+  +---+---+---------------------^-------+
+      |   | miss                | swap: victim-cache hit
+      |   v                     v exchanges the two lines
+      | +-+---------------------+-----+
+      | | victim cache: 1-5 entries,  |   loaded with the
+      +>| fully associative, LRU      |  VICTIM of each L1
+ victim | +-------+-------------^-----+   replacement -- no
+        |         | miss        |          duplication
+        |         v             | fill (L1 only)
+        +--> to second-level ---+
+"#;
+
+/// Figure 4-2: sequential stream buffer design.
+pub const FIG_4_2: &str = r#"
+Figure 4-2: sequential stream buffer design
+
+     from processor        to processor
+          |                     ^
+          v                     |
+  +-------+---------------------+-------+
+  |      direct-mapped L1 cache         |
+  +-------+---------------------^-------+
+          | miss                | head hit: one-cycle reload,
+          v                     | queue shifts up
+  +-------+---------------------+-------+
+  | stream buffer (FIFO, 4 entries)     |
+  |  head -> | tag | avail | data |  <- only the head has
+  |          | tag | avail | data |     a comparator; non-
+  |          | tag | avail | data |     sequential misses
+  |  tail -> | tag | avail | data |     flush + restart
+  +-------+---------------------^-------+
+          | miss (restart at    | prefetch successive lines
+          v  miss+1)            | (pipelined, multiple in flight)
+       to second-level cache ---+
+"#;
+
+/// Figure 4-4: four-way stream buffer design.
+pub const FIG_4_4: &str = r#"
+Figure 4-4: four-way stream buffer design
+
+     from processor        to processor
+          |                     ^
+          v                     |
+  +-------+---------------------+-------+
+  |      direct-mapped L1 cache         |
+  +-------+---------------------^-------+
+          | miss                | hit in any way's head
+          v                     |
+  +---------+---------+---------+---------+
+  | buffer0 | buffer1 | buffer2 | buffer3 |  all four head
+  | (FIFO)  | (FIFO)  | (FIFO)  | (FIFO)  |  comparators checked
+  +---------+---------+---------+---------+  in parallel
+          | miss in all ways: the LEAST-RECENTLY-HIT way is
+          v cleared and restarted at the miss address (LRU)
+       to second-level cache
+"#;
+
+/// Renders all the organization diagrams.
+pub fn render_all() -> String {
+    format!("{FIG_2_1}{FIG_3_2}{FIG_3_4}{FIG_4_2}{FIG_4_4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagrams_mention_their_key_design_points() {
+        assert!(FIG_2_1.contains("pipelined"));
+        assert!(FIG_2_1.contains("24 instruction times"));
+        assert!(FIG_3_2.contains("REQUESTED"));
+        assert!(FIG_3_4.contains("VICTIM"));
+        assert!(FIG_3_4.contains("swap"));
+        assert!(FIG_4_2.contains("only the head"));
+        assert!(FIG_4_4.contains("LEAST-RECENTLY-HIT"));
+    }
+
+    #[test]
+    fn render_all_concatenates_every_figure() {
+        let all = render_all();
+        for fig in ["Figure 2-1", "Figure 3-2", "Figure 3-4", "Figure 4-2", "Figure 4-4"] {
+            assert!(all.contains(fig), "missing {fig}");
+        }
+    }
+
+    #[test]
+    fn diagrams_are_plain_ascii() {
+        for (name, fig) in [
+            ("2-1", FIG_2_1),
+            ("3-2", FIG_3_2),
+            ("3-4", FIG_3_4),
+            ("4-2", FIG_4_2),
+            ("4-4", FIG_4_4),
+        ] {
+            assert!(fig.is_ascii(), "figure {name} contains non-ASCII");
+            assert!(
+                fig.lines().all(|l| l.len() <= 80),
+                "figure {name} exceeds 80 columns"
+            );
+        }
+    }
+}

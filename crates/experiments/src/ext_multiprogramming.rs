@@ -1,0 +1,187 @@
+//! Extension: multiprogramming (§5 future work).
+//!
+//! "Finally, the performance of victim caching and stream buffers needs
+//! to be investigated for operating system execution and for
+//! multiprogramming workloads." This experiment interleaves two
+//! benchmarks' traces in fixed scheduling quanta (disjoint address
+//! spaces), runs the baseline and improved machines over the merged
+//! trace, and compares against the single-program results: context
+//! switches periodically destroy cache, victim-cache, and stream-buffer
+//! state, so the mechanisms' benefit should shrink but not vanish.
+
+use jouppi_report::{percent, Table};
+use jouppi_system::{SystemConfig, SystemModel};
+use jouppi_trace::{Addr, MemRef, RecordedTrace, TraceSource};
+use jouppi_workloads::Benchmark;
+
+use crate::common::{average, ExperimentConfig};
+
+/// Address-space offset applied to the second program so the two never
+/// share lines (they still collide in the caches, as real processes do
+/// with physical indexing).
+const ASID_OFFSET: u64 = 1 << 40;
+
+/// One workload pairing's results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairRow {
+    /// First program of the pair.
+    pub a: Benchmark,
+    /// Second program of the pair.
+    pub b: Benchmark,
+    /// Speedup of the improved machine on the merged trace.
+    pub multiprogrammed_speedup: f64,
+    /// Average of the two programs' standalone speedups.
+    pub standalone_speedup: f64,
+}
+
+/// Results of the multiprogramming extension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtMultiprogramming {
+    /// Scheduling quantum in references.
+    pub quantum: usize,
+    /// One row per pairing.
+    pub rows: Vec<PairRow>,
+}
+
+/// Interleaves two traces in quanta of `quantum` references, offsetting
+/// the second trace's addresses into a disjoint address space.
+pub fn interleave(a: &RecordedTrace, b: &RecordedTrace, quantum: usize) -> RecordedTrace {
+    assert!(quantum > 0, "quantum must be nonzero");
+    let shifted: Vec<MemRef> = b
+        .as_slice()
+        .iter()
+        .map(|r| MemRef::new(Addr::new(r.addr.get() + ASID_OFFSET), r.kind))
+        .collect();
+    let mut merged = Vec::with_capacity(a.len() + shifted.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    loop {
+        let take_a = (a.len() - ia).min(quantum);
+        merged.extend_from_slice(&a.as_slice()[ia..ia + take_a]);
+        ia += take_a;
+        let take_b = (shifted.len() - ib).min(quantum);
+        merged.extend_from_slice(&shifted[ib..ib + take_b]);
+        ib += take_b;
+        if take_a == 0 && take_b == 0 {
+            break;
+        }
+    }
+    RecordedTrace::from_refs(format!("{}+{}", a.name(), b.name()), merged)
+}
+
+fn speedup(src: &dyn TraceSource) -> f64 {
+    let base = SystemModel::new(SystemConfig::baseline()).run(src);
+    let imp = SystemModel::new(SystemConfig::improved()).run(src);
+    imp.time.speedup_over(&base.time)
+}
+
+/// Runs three representative pairings with a quantum of 20k references.
+pub fn run(cfg: &ExperimentConfig) -> ExtMultiprogramming {
+    let quantum = 20_000;
+    let pairs = [
+        (Benchmark::Ccom, Benchmark::Linpack),
+        (Benchmark::Met, Benchmark::Liver),
+        (Benchmark::Grr, Benchmark::Yacc),
+    ];
+    let rows = pairs
+        .into_iter()
+        .map(|(a, b)| {
+            let ta = RecordedTrace::record(&a.source(cfg.scale, cfg.seed));
+            let tb = RecordedTrace::record(&b.source(cfg.scale, cfg.seed));
+            let merged = interleave(&ta, &tb, quantum);
+            PairRow {
+                a,
+                b,
+                multiprogrammed_speedup: speedup(&merged),
+                standalone_speedup: average(&[speedup(&ta), speedup(&tb)]),
+            }
+        })
+        .collect();
+    ExtMultiprogramming { quantum, rows }
+}
+
+impl ExtMultiprogramming {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "pairing",
+            "standalone speedup",
+            "multiprogrammed speedup",
+            "benefit retained",
+        ]);
+        for r in &self.rows {
+            let retained = if r.standalone_speedup > 1.0 {
+                (r.multiprogrammed_speedup - 1.0) / (r.standalone_speedup - 1.0)
+            } else {
+                1.0
+            };
+            t.row([
+                format!("{}+{}", r.a.name(), r.b.name()),
+                format!("{:.2}x", r.standalone_speedup),
+                format!("{:.2}x", r.multiprogrammed_speedup),
+                percent(retained),
+            ]);
+        }
+        format!(
+            "Extension (§5 future work): multiprogramming, quantum {} refs\n\
+             (improved machine = 4-entry data VC + I-SB + 4-way D-SB)\n{t}",
+            self.quantum
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_preserves_all_references() {
+        let a = RecordedTrace::from_refs(
+            "a",
+            (0..25u64).map(|i| MemRef::load(Addr::new(i))).collect(),
+        );
+        let b = RecordedTrace::from_refs(
+            "b",
+            (0..10u64).map(|i| MemRef::instr(Addr::new(i))).collect(),
+        );
+        let m = interleave(&a, &b, 10);
+        assert_eq!(m.len(), 35);
+        // First quantum comes from a, second from b (offset).
+        assert_eq!(m.as_slice()[0].addr, Addr::new(0));
+        assert_eq!(m.as_slice()[10].addr, Addr::new(ASID_OFFSET));
+        // No reference lost: counts by kind match.
+        let stats = m.stats();
+        assert_eq!(stats.loads, 25);
+        assert_eq!(stats.instruction_refs, 10);
+    }
+
+    #[test]
+    fn uneven_tails_are_flushed() {
+        let a = RecordedTrace::from_refs(
+            "a",
+            (0..5u64).map(|i| MemRef::load(Addr::new(i))).collect(),
+        );
+        let b = RecordedTrace::from_refs(
+            "b",
+            (0..23u64).map(|i| MemRef::load(Addr::new(i))).collect(),
+        );
+        let m = interleave(&a, &b, 10);
+        assert_eq!(m.len(), 28);
+    }
+
+    #[test]
+    fn mechanisms_still_help_under_multiprogramming() {
+        let cfg = ExperimentConfig::with_scale(40_000);
+        let e = run(&cfg);
+        assert_eq!(e.rows.len(), 3);
+        for r in &e.rows {
+            assert!(
+                r.multiprogrammed_speedup > 1.05,
+                "{}+{}: speedup {:.2}",
+                r.a,
+                r.b,
+                r.multiprogrammed_speedup
+            );
+        }
+        assert!(e.render().contains("benefit retained"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablation: miss-penalty sensitivity — connecting Table 1-1's trend to
+//! Figure 5-1's payoff.
+//!
+//! Table 1-1's whole argument is that miss cost in instruction times is
+//! exploding (0.6 on a VAX 11/780, 8.6 on the Titan, 140 projected).
+//! This ablation sweeps the first-level miss penalty and shows the
+//! system-level value of the paper's mechanisms growing with it: on the
+//! VAX there was nothing to win; on the projected machine the victim
+//! cache + stream buffers pay for themselves many times over.
+
+use jouppi_report::Table;
+use jouppi_system::{SystemConfig, SystemModel};
+
+use crate::common::{average, per_benchmark, ExperimentConfig};
+
+/// L1 miss penalties swept (instruction times); 24 is the paper's
+/// baseline. The L2 penalty is scaled proportionally (×13⅓, as in the
+/// baseline's 24→320 ratio).
+pub const PENALTIES: [u64; 5] = [2, 8, 24, 70, 140];
+
+/// Results of the penalty sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtPenalty {
+    /// `(l1 penalty, avg % system-performance improvement)`.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Runs the sweep over all six benchmarks.
+pub fn run(cfg: &ExperimentConfig) -> ExtPenalty {
+    let per_bench = per_benchmark(cfg, |_, trace| {
+        PENALTIES
+            .iter()
+            .map(|&p| {
+                let scale = |mut c: SystemConfig| {
+                    c.l1_miss_penalty = p;
+                    c.l2_miss_penalty = p * 320 / 24;
+                    c
+                };
+                let base = SystemModel::new(scale(SystemConfig::baseline())).run(trace);
+                let imp = SystemModel::new(scale(SystemConfig::improved())).run(trace);
+                100.0 * (imp.time.speedup_over(&base.time) - 1.0)
+            })
+            .collect::<Vec<_>>()
+    });
+    let points = PENALTIES
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let vals: Vec<f64> = per_bench.iter().map(|(_, c)| c[i]).collect();
+            (p, average(&vals))
+        })
+        .collect();
+    ExtPenalty { points }
+}
+
+impl ExtPenalty {
+    /// Average improvement at a penalty (0.0 if not swept).
+    pub fn improvement_at(&self, penalty: u64) -> f64 {
+        self.points
+            .iter()
+            .find(|(p, _)| *p == penalty)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["L1 miss penalty", "L2 miss penalty", "avg improvement"]);
+        for (p, v) in &self.points {
+            t.row([
+                p.to_string(),
+                (p * 320 / 24).to_string(),
+                format!("{v:.0}%"),
+            ]);
+        }
+        format!(
+            "Ablation: value of VC + stream buffers vs miss penalty \
+             (Table 1-1's machines span this range)\n{t}"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benefit_grows_with_miss_cost() {
+        let cfg = ExperimentConfig::with_scale(50_000);
+        let e = run(&cfg);
+        assert_eq!(e.points.len(), PENALTIES.len());
+        // Monotone: the dearer the miss, the more the mechanisms matter.
+        for w in e.points.windows(2) {
+            assert!(
+                w[1].1 + 1.0 >= w[0].1,
+                "improvement fell: {:?} → {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // VAX-class penalties: little to gain. Future-machine penalties:
+        // large gains.
+        assert!(e.improvement_at(2) < e.improvement_at(140) / 3.0);
+        assert!(e.improvement_at(140) > 50.0);
+        assert!(e.render().contains("miss penalty"));
+    }
+}

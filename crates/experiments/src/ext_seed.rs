@@ -1,0 +1,102 @@
+//! Robustness: sensitivity of the headline result to workload seeds.
+//!
+//! The synthetic workloads are seeded generators, so any particular seed
+//! could in principle flatter the mechanisms. This experiment reruns the
+//! Figure 5-1 headline (average system-performance improvement and L1
+//! miss-rate ratio) across several seeds and reports mean and spread —
+//! the reproduction's error bars.
+
+use jouppi_report::Table;
+use jouppi_system::{SystemConfig, SystemModel};
+
+use crate::common::{average, per_benchmark, ExperimentConfig};
+
+/// Seeds evaluated.
+pub const SEEDS: [u64; 5] = [1, 2, 42, 1990, 0xdead_beef];
+
+/// Results of the seed-sensitivity study.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtSeed {
+    /// `(seed, avg improvement %, avg miss-rate ratio)` per seed.
+    pub points: Vec<(u64, f64, f64)>,
+}
+
+/// Runs Figure 5-1's summary metrics at each seed.
+pub fn run(cfg: &ExperimentConfig) -> ExtSeed {
+    let points = SEEDS
+        .iter()
+        .map(|&seed| {
+            let seed_cfg = ExperimentConfig { seed, ..*cfg };
+            let mut improvements = Vec::new();
+            let mut ratios = Vec::new();
+            per_benchmark(&seed_cfg, |_, trace| {
+                let base = SystemModel::new(SystemConfig::baseline()).run(trace);
+                let imp = SystemModel::new(SystemConfig::improved()).run(trace);
+                improvements.push(100.0 * (imp.time.speedup_over(&base.time) - 1.0));
+                ratios.push(if base.l1_miss_rate() == 0.0 {
+                    1.0
+                } else {
+                    imp.l1_miss_rate() / base.l1_miss_rate()
+                });
+            });
+            (seed, average(&improvements), average(&ratios))
+        })
+        .collect();
+    ExtSeed { points }
+}
+
+impl ExtSeed {
+    /// Mean and spread (max − min) of the improvement percentage.
+    pub fn improvement_stats(&self) -> (f64, f64) {
+        let vals: Vec<f64> = self.points.iter().map(|(_, i, _)| *i).collect();
+        let mean = average(&vals);
+        let spread = vals.iter().copied().fold(f64::MIN, f64::max)
+            - vals.iter().copied().fold(f64::MAX, f64::min);
+        (mean, spread)
+    }
+
+    /// Renders the per-seed table and the summary.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["seed", "avg improvement", "avg miss-rate ratio"]);
+        for (seed, imp, ratio) in &self.points {
+            t.row([
+                format!("{seed:#x}"),
+                format!("{imp:.0}%"),
+                format!("{ratio:.2}"),
+            ]);
+        }
+        let (mean, spread) = self.improvement_stats();
+        format!(
+            "Robustness: Figure 5-1 headline across workload seeds\n{}\
+             \nimprovement {mean:.0}% ± {:.0}% across {} seeds (paper: 143%)\n",
+            t.render(),
+            spread / 2.0,
+            self.points.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_is_stable_across_seeds() {
+        let cfg = ExperimentConfig::with_scale(40_000);
+        let e = run(&cfg);
+        assert_eq!(e.points.len(), SEEDS.len());
+        for (seed, improvement, ratio) in &e.points {
+            assert!(
+                *improvement > 50.0,
+                "seed {seed:#x}: improvement only {improvement}%"
+            );
+            assert!(*ratio < 0.6, "seed {seed:#x}: ratio {ratio}");
+        }
+        let (mean, spread) = e.improvement_stats();
+        assert!(
+            spread < mean,
+            "spread {spread} should be well under the mean {mean}"
+        );
+        assert!(e.render().contains("seeds"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Analysis: the §2 store-bandwidth argument for a pipelined L2.
+//!
+//! "Since stores typically occur at an average rate of 1 in every 6 or 7
+//! instructions, an unpipelined external cache would not have even enough
+//! bandwidth to handle the store traffic for access times greater than
+//! seven instruction times." This experiment drives each benchmark's real
+//! store stream (write-through L1, 4-entry write buffer) against a range
+//! of L2 accept intervals and measures the stall time per instruction —
+//! showing exactly where the unpipelined designs fall off the cliff and
+//! the pipelined ones (accept interval 2-4) do not.
+
+use jouppi_core::WriteBuffer;
+use jouppi_report::Table;
+use jouppi_trace::AccessKind;
+
+use crate::common::{average, per_benchmark, ExperimentConfig};
+
+/// L2 accept intervals swept (instruction times between writes accepted).
+/// 2-4 model a pipelined cache; 16-30 model unpipelined access times.
+pub const ACCEPT_INTERVALS: [u64; 5] = [2, 4, 8, 16, 30];
+
+/// Results of the store-bandwidth analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtWriteBandwidth {
+    /// `(accept interval, avg stall ticks per instruction)`.
+    pub points: Vec<(u64, f64)>,
+    /// Average store interval over the suite (instructions per store).
+    pub avg_store_interval: f64,
+}
+
+/// Runs every benchmark's store stream through the write buffer at each
+/// accept interval.
+pub fn run(cfg: &ExperimentConfig) -> ExtWriteBandwidth {
+    let per_bench = per_benchmark(cfg, |_, trace| {
+        let mut per_interval = Vec::new();
+        let mut stores = 0u64;
+        for &interval in &ACCEPT_INTERVALS {
+            let mut wb = WriteBuffer::new(4, interval);
+            let mut now = 0u64;
+            let mut instrs = 0u64;
+            stores = 0;
+            for r in trace.as_slice() {
+                match r.kind {
+                    AccessKind::InstrFetch => {
+                        instrs += 1;
+                        now += 1;
+                    }
+                    AccessKind::Store => {
+                        stores += 1;
+                        now += wb.store(now);
+                    }
+                    AccessKind::Load => {}
+                }
+            }
+            per_interval.push(wb.total_stalls() as f64 / instrs.max(1) as f64);
+        }
+        let instrs = trace.stats().instruction_refs;
+        (per_interval, instrs as f64 / stores.max(1) as f64)
+    });
+    let points = ACCEPT_INTERVALS
+        .iter()
+        .enumerate()
+        .map(|(i, &interval)| {
+            let vals: Vec<f64> = per_bench.iter().map(|(_, (c, _))| c[i]).collect();
+            (interval, average(&vals))
+        })
+        .collect();
+    let avg_store_interval = average(
+        &per_bench
+            .iter()
+            .map(|(_, (_, s))| *s)
+            .collect::<Vec<_>>(),
+    );
+    ExtWriteBandwidth {
+        points,
+        avg_store_interval,
+    }
+}
+
+impl ExtWriteBandwidth {
+    /// Stall per instruction at an accept interval (0.0 if not swept).
+    pub fn stall_at(&self, interval: u64) -> f64 {
+        self.points
+            .iter()
+            .find(|(i, _)| *i == interval)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["L2 accept interval", "stall per instruction"]);
+        for (interval, stall) in &self.points {
+            t.row([interval.to_string(), format!("{stall:.3}")]);
+        }
+        format!(
+            "Analysis (§2): store bandwidth vs L2 pipelining \
+             (write-through L1, 4-entry write buffer)\n\
+             suite averages one store per {:.1} instructions\n{}",
+            self.avg_store_interval,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpipelined_l2_is_bandwidth_limited() {
+        let cfg = ExperimentConfig::with_scale(60_000);
+        let e = run(&cfg);
+        // The suite stores about 1-in-7-instructions, like the paper's.
+        assert!(
+            (4.0..14.0).contains(&e.avg_store_interval),
+            "store interval {:.1}",
+            e.avg_store_interval
+        );
+        // Pipelined intervals keep stalls negligible…
+        assert!(e.stall_at(2) < 0.05, "{}", e.stall_at(2));
+        // …while unpipelined access times beyond the store interval melt
+        // down, exactly as §2 argues.
+        assert!(
+            e.stall_at(30) > 10.0 * e.stall_at(4).max(0.001),
+            "30: {} vs 4: {}",
+            e.stall_at(30),
+            e.stall_at(4)
+        );
+        // Monotone in the accept interval.
+        for w in e.points.windows(2) {
+            assert!(w[1].1 + 1e-12 >= w[0].1, "{:?}", e.points);
+        }
+        assert!(e.render().contains("store bandwidth"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 2-2: baseline design performance (and Figure 5-1 shares the
+//! machinery — see [`crate::fig_5_1`]).
+
+use jouppi_report::{percent, Bar, BarChart, Table};
+use jouppi_system::{SystemConfig, SystemModel, SystemReport};
+use jouppi_workloads::Benchmark;
+
+use crate::common::{per_benchmark, ExperimentConfig};
+
+/// Per-benchmark baseline system performance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig22 {
+    /// `(benchmark, report)` for the §2 baseline machine.
+    pub rows: Vec<(Benchmark, SystemReport)>,
+}
+
+/// Runs every benchmark through the baseline machine.
+pub fn run(cfg: &ExperimentConfig) -> Fig22 {
+    let rows = per_benchmark(cfg, |_, trace| {
+        SystemModel::new(SystemConfig::baseline()).run(trace)
+    });
+    Fig22 { rows }
+}
+
+impl Fig22 {
+    /// The paper's headline: most benchmarks lose over half their
+    /// potential performance in the memory hierarchy. Returns the count
+    /// of benchmarks below 50% of peak.
+    pub fn below_half_peak(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|(_, r)| r.performance_fraction() < 0.5)
+            .count()
+    }
+
+    /// Renders the per-level loss decomposition.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "program",
+            "net perf",
+            "lost L1-I",
+            "lost L1-D",
+            "lost L2",
+            "MIPS (peak 1000)",
+        ]);
+        for (b, r) in &self.rows {
+            t.row([
+                b.name().to_owned(),
+                percent(r.performance_fraction()),
+                percent(r.time.lost_to_l1i()),
+                percent(r.time.lost_to_l1d()),
+                percent(r.time.lost_to_l2()),
+                format!("{:.0}", r.mips(1000)),
+            ]);
+        }
+        let mut bars = BarChart::new("time breakdown per benchmark", 50)
+            .legend('#', "net performance")
+            .legend('i', "lost to L1 instruction misses")
+            .legend('d', "lost to L1 data misses")
+            .legend('2', "lost to L2 misses");
+        for (b, r) in &self.rows {
+            bars = bars.bar(Bar::new(
+                b.name(),
+                vec![
+                    (r.performance_fraction(), '#'),
+                    (r.time.lost_to_l1i(), 'i'),
+                    (r.time.lost_to_l1d(), 'd'),
+                    (r.time.lost_to_l2(), '2'),
+                ],
+            ));
+        }
+        format!(
+            "Figure 2-2: baseline design performance (region above net perf = lost)\n{}\n{}",
+            t.render(),
+            bars.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_loses_substantial_performance() {
+        let cfg = ExperimentConfig::with_scale(60_000);
+        let f = run(&cfg);
+        assert_eq!(f.rows.len(), 6);
+        // The paper's point: the memory hierarchy eats a large share.
+        assert!(
+            f.below_half_peak() >= 3,
+            "expected most benchmarks below half of peak"
+        );
+        for (b, r) in &f.rows {
+            let frac = r.performance_fraction();
+            assert!(frac > 0.0 && frac < 1.0, "{b}: {frac}");
+        }
+        assert!(f.render().contains("net perf"));
+    }
+
+    #[test]
+    fn loss_fractions_accounted() {
+        let cfg = ExperimentConfig::with_scale(30_000);
+        let f = run(&cfg);
+        for (_, r) in &f.rows {
+            let sum = r.performance_fraction()
+                + r.time.lost_to_l1i()
+                + r.time.lost_to_l1d()
+                + r.time.lost_to_l2()
+                + r.time.lost_to_fixups();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

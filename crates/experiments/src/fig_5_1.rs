@@ -1,0 +1,135 @@
+//! Figure 5-1: system performance with victim caches and stream buffers.
+
+use jouppi_report::{percent, Bar, BarChart, Table};
+use jouppi_system::{SystemConfig, SystemModel, SystemReport};
+use jouppi_workloads::Benchmark;
+
+use crate::common::{average, per_benchmark, ExperimentConfig};
+
+/// Baseline-vs-improved runs for every benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig51 {
+    /// `(benchmark, baseline report, improved report)`.
+    pub rows: Vec<(Benchmark, SystemReport, SystemReport)>,
+}
+
+/// Runs each benchmark through the §2 baseline and the §5 improved
+/// machine.
+pub fn run(cfg: &ExperimentConfig) -> Fig51 {
+    let rows = per_benchmark(cfg, |_, trace| {
+        let base = SystemModel::new(SystemConfig::baseline()).run(trace);
+        let improved = SystemModel::new(SystemConfig::improved()).run(trace);
+        (base, improved)
+    })
+    .into_iter()
+    .map(|(b, (base, improved))| (b, base, improved))
+    .collect();
+    Fig51 { rows }
+}
+
+impl Fig51 {
+    /// Average percent improvement in system performance (the paper
+    /// reports 143% for its six benchmarks).
+    pub fn avg_improvement_pct(&self) -> f64 {
+        average(
+            &self
+                .rows
+                .iter()
+                .map(|(_, base, imp)| 100.0 * (imp.time.speedup_over(&base.time) - 1.0))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Ratio of the improved system's combined L1 miss rate to the
+    /// baseline's, averaged over benchmarks (paper: "less than half").
+    pub fn avg_miss_rate_ratio(&self) -> f64 {
+        average(
+            &self
+                .rows
+                .iter()
+                .map(|(_, base, imp)| {
+                    if base.l1_miss_rate() == 0.0 {
+                        1.0
+                    } else {
+                        imp.l1_miss_rate() / base.l1_miss_rate()
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "program",
+            "base perf",
+            "improved perf",
+            "speedup",
+            "base L1 miss",
+            "improved L1 miss",
+        ]);
+        for (b, base, imp) in &self.rows {
+            t.row([
+                b.name().to_owned(),
+                percent(base.performance_fraction()),
+                percent(imp.performance_fraction()),
+                format!("{:.2}x", imp.time.speedup_over(&base.time)),
+                format!("{:.4}", base.l1_miss_rate()),
+                format!("{:.4}", imp.l1_miss_rate()),
+            ]);
+        }
+        let mut bars = BarChart::new("net performance: baseline (b) vs improved (I)", 50)
+            .legend('b', "baseline net performance")
+            .legend('I', "improved net performance");
+        for (b, base, imp) in &self.rows {
+            bars = bars
+                .bar(Bar::new(
+                    format!("{} base", b.name()),
+                    vec![(base.performance_fraction(), 'b')],
+                ))
+                .bar(Bar::new(
+                    format!("{} impr", b.name()),
+                    vec![(imp.performance_fraction(), 'I')],
+                ));
+        }
+        format!(
+            "Figure 5-1: improved system performance \
+             (4-entry data VC + I stream buffer + 4-way D stream buffer)\n{}\n{}\
+             \naverage improvement: {:.0}% (paper: 143%)\n\
+             average L1 miss-rate ratio: {:.2} (paper: < 0.5)\n",
+            t.render(),
+            bars.render(),
+            self.avg_improvement_pct(),
+            self.avg_miss_rate_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improved_system_halves_miss_rate_and_speeds_up() {
+        let cfg = ExperimentConfig::with_scale(80_000);
+        let f = run(&cfg);
+        assert_eq!(f.rows.len(), 6);
+        for (b, base, imp) in &f.rows {
+            assert!(
+                imp.performance_fraction() >= base.performance_fraction(),
+                "{b} got slower"
+            );
+        }
+        // The two headline §5 claims (with generous bands for synthetic
+        // workloads): miss rate cut around half or better, and a large
+        // average performance improvement.
+        let ratio = f.avg_miss_rate_ratio();
+        assert!(ratio < 0.65, "miss-rate ratio {ratio} not < 0.65");
+        let improvement = f.avg_improvement_pct();
+        assert!(
+            improvement > 40.0,
+            "average improvement only {improvement}%"
+        );
+        assert!(f.render().contains("speedup"));
+    }
+}

@@ -1,0 +1,117 @@
+//! The §5 orthogonality statistic: how often victim-cache hits would also
+//! have hit in a stream buffer.
+
+use jouppi_core::{AugmentedConfig, StreamBufferConfig};
+use jouppi_report::{percent, Table};
+use jouppi_workloads::Benchmark;
+
+use crate::common::{baseline_l1, per_benchmark, run_side, ExperimentConfig, Side};
+
+/// Per-benchmark overlap between a 4-entry data victim cache and a 4-way
+/// data stream buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlapRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Fraction of L1 data misses that hit the victim cache.
+    pub vc_hit_fraction: f64,
+    /// Fraction of victim-cache hits whose line was simultaneously at a
+    /// stream-buffer head.
+    pub overlap_fraction: f64,
+}
+
+/// Result of the §5 overlap measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Overlap {
+    /// One row per benchmark.
+    pub rows: Vec<OverlapRow>,
+}
+
+/// Measures victim-cache/stream-buffer overlap on the data side.
+pub fn run(cfg: &ExperimentConfig) -> Overlap {
+    let aug = AugmentedConfig::new(baseline_l1())
+        .victim_cache(4)
+        .multi_way_stream_buffer(4, StreamBufferConfig::new(4));
+    let rows = per_benchmark(cfg, |b, trace| {
+        let stats = run_side(trace, Side::Data, aug);
+        OverlapRow {
+            benchmark: b,
+            vc_hit_fraction: if stats.l1_misses() == 0 {
+                0.0
+            } else {
+                stats.victim_hits as f64 / stats.l1_misses() as f64
+            },
+            overlap_fraction: if stats.victim_hits == 0 {
+                0.0
+            } else {
+                stats.overlap_hits as f64 / stats.victim_hits as f64
+            },
+        }
+    })
+    .into_iter()
+    .map(|(_, r)| r)
+    .collect();
+    Overlap { rows }
+}
+
+impl Overlap {
+    /// Looks up one benchmark's row.
+    pub fn row(&self, b: Benchmark) -> Option<&OverlapRow> {
+        self.rows.iter().find(|r| r.benchmark == b)
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "program",
+            "VC hits / misses",
+            "VC∩SB overlap",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.name().to_owned(),
+                percent(r.vc_hit_fraction),
+                percent(r.overlap_fraction),
+            ]);
+        }
+        format!(
+            "Section 5: victim-cache / stream-buffer overlap, 4KB D-cache \
+             (paper: ~2.5% overlap except linpack ~50%; linpack VC hits only ~4%)\n{t}"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanisms_are_mostly_orthogonal() {
+        let cfg = ExperimentConfig::with_scale(80_000);
+        let o = run(&cfg);
+        assert_eq!(o.rows.len(), 6);
+        // Paper: overlap is tiny for the five non-linpack programs.
+        for r in &o.rows {
+            if r.benchmark != Benchmark::Linpack {
+                assert!(
+                    r.overlap_fraction < 0.35,
+                    "{}: overlap {}",
+                    r.benchmark,
+                    r.overlap_fraction
+                );
+            }
+        }
+        // linpack benefits least from victim caching.
+        let linpack = o.row(Benchmark::Linpack).unwrap();
+        let max_vc = o
+            .rows
+            .iter()
+            .map(|r| r.vc_hit_fraction)
+            .fold(0.0f64, f64::max);
+        assert!(
+            linpack.vc_hit_fraction < max_vc,
+            "linpack should not lead in VC hits"
+        );
+        assert!(o.render().contains("overlap"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Aligned monospace tables.
+
+use std::fmt;
+
+/// A simple column-aligned table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_report::Table;
+///
+/// let mut t = Table::new(["name", "value"]);
+/// t.row(["alpha", "1"]);
+/// t.row(["beta", "22"]);
+/// let text = t.render();
+/// let lines: Vec<&str> = text.lines().collect();
+/// assert_eq!(lines.len(), 4); // header, rule, two rows
+/// assert!(lines[0].starts_with("name"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header's.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders a plain-text table: header, a rule, then the rows. The
+    /// first column is left-aligned, the rest right-aligned (numbers).
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = w[i].saturating_sub(cell.chars().count());
+                if i == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let rule_len = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["bench", "I-miss", "D-miss"]);
+        t.row(["ccom", "0.096", "0.120"]);
+        t.row(["liver", "0.000", "0.273"]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned numeric columns line up.
+        let i0 = lines[2].rfind("0.120").unwrap();
+        let i1 = lines[3].rfind("0.273").unwrap();
+        assert_eq!(i0, i1);
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let md = sample().render_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert!(lines[0].starts_with("| bench"));
+        assert!(lines[1].contains("---"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn display_equals_render() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.render());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        assert_eq!(sample().render(), sample().render());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn unicode_widths_counted_by_chars() {
+        let mut t = Table::new(["name", "v"]);
+        t.row(["µ-bench", "1"]);
+        let text = t.render();
+        assert!(text.contains("µ-bench"));
+    }
+}

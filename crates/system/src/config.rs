@@ -1,0 +1,178 @@
+//! System configuration: cache organizations and miss penalties.
+
+use jouppi_cache::CacheGeometry;
+use jouppi_core::{AugmentedConfig, StreamBufferConfig};
+
+/// The full machine configuration: both first-level cache organizations,
+/// the second-level cache, and the miss penalties in instruction times.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_system::SystemConfig;
+///
+/// let base = SystemConfig::baseline();
+/// assert_eq!(base.l1_miss_penalty, 24);
+/// assert_eq!(base.l2_miss_penalty, 320);
+/// assert_eq!(base.i_cache.geometry().size(), 4096);
+///
+/// let improved = SystemConfig::improved();
+/// assert_eq!(improved.d_cache.stream_ways(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Instruction-cache organization (L1 + optional augmentations).
+    pub i_cache: AugmentedConfig,
+    /// Data-cache organization (L1 + optional augmentations).
+    pub d_cache: AugmentedConfig,
+    /// Second-level cache geometry.
+    pub l2: CacheGeometry,
+    /// Entries in a second-level victim cache (0 = none). §3.5 of the
+    /// paper leaves L2 victim caching to future work; this knob
+    /// implements it: an L2 miss that hits the L2 victim cache is
+    /// serviced with one extra L2-side fixup instead of the full
+    /// main-memory penalty.
+    pub l2_victim_entries: usize,
+    /// Ways of a second-level stream buffer between L2 and main memory
+    /// (0 = none) — §5 names second-level application of the techniques
+    /// as future work. An L2 miss caught at a buffer head costs one
+    /// fixup instead of the main-memory penalty.
+    pub l2_stream_ways: usize,
+    /// Penalty of a first-level miss serviced by the second level, in
+    /// instruction times (the paper assumes 24).
+    pub l1_miss_penalty: u64,
+    /// Additional penalty of a second-level miss to main memory (320).
+    pub l2_miss_penalty: u64,
+    /// Cost of an L1 miss serviced on-chip by a victim cache, miss cache,
+    /// or stream buffer (one cycle).
+    pub onchip_fixup: u64,
+    /// Peak instruction issue rate in MIPS (1000 for the baseline).
+    pub peak_mips: u64,
+}
+
+impl SystemConfig {
+    /// The §2 baseline: bare 4KB/16B direct-mapped split L1s, 1MB/128B
+    /// direct-mapped L2, 24- and 320-instruction-time penalties.
+    pub fn baseline() -> Self {
+        let l1 = CacheGeometry::direct_mapped(4096, 16).expect("baseline L1 geometry is valid");
+        let l2 =
+            CacheGeometry::direct_mapped(1 << 20, 128).expect("baseline L2 geometry is valid");
+        SystemConfig {
+            i_cache: AugmentedConfig::new(l1),
+            d_cache: AugmentedConfig::new(l1),
+            l2,
+            l2_victim_entries: 0,
+            l2_stream_ways: 0,
+            l1_miss_penalty: 24,
+            l2_miss_penalty: 320,
+            onchip_fixup: 1,
+            peak_mips: 1000,
+        }
+    }
+
+    /// The §5 improved system (Figure 5-1): baseline plus a single
+    /// four-entry instruction stream buffer, a four-entry data victim
+    /// cache, and a four-way four-entry data stream buffer.
+    pub fn improved() -> Self {
+        let mut cfg = SystemConfig::baseline();
+        cfg.i_cache = cfg.i_cache.stream_buffer(StreamBufferConfig::new(4));
+        cfg.d_cache = cfg
+            .d_cache
+            .victim_cache(4)
+            .multi_way_stream_buffer(4, StreamBufferConfig::new(4));
+        cfg
+    }
+
+    /// Replaces both L1 organizations (useful for sweeps that vary the
+    /// first-level caches while keeping the rest of the machine).
+    #[must_use]
+    pub fn with_l1(mut self, i_cache: AugmentedConfig, d_cache: AugmentedConfig) -> Self {
+        self.i_cache = i_cache;
+        self.d_cache = d_cache;
+        self
+    }
+
+    /// Adds a victim cache behind the second-level cache (§3.5's future
+    /// work; L2's large lines make conflicts more likely, so victim
+    /// caching applies there too).
+    #[must_use]
+    pub fn with_l2_victim(mut self, entries: usize) -> Self {
+        self.l2_victim_entries = entries;
+        self
+    }
+
+    /// Adds a multi-way stream buffer between the second-level cache and
+    /// main memory (§5 future work applied one level down).
+    #[must_use]
+    pub fn with_l2_stream(mut self, ways: usize) -> Self {
+        self.l2_stream_ways = ways;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    /// The baseline system.
+    fn default() -> Self {
+        SystemConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jouppi_core::ConflictAid;
+
+    #[test]
+    fn baseline_matches_section_2() {
+        let c = SystemConfig::baseline();
+        assert_eq!(c.i_cache.geometry().size(), 4096);
+        assert_eq!(c.i_cache.geometry().line_size(), 16);
+        assert!(c.i_cache.geometry().is_direct_mapped());
+        assert_eq!(c.d_cache.geometry(), c.i_cache.geometry());
+        assert_eq!(c.l2.size(), 1 << 20);
+        assert_eq!(c.l2.line_size(), 128);
+        assert_eq!(c.l1_miss_penalty, 24);
+        assert_eq!(c.l2_miss_penalty, 320);
+        assert_eq!(c.peak_mips, 1000);
+        assert_eq!(c.i_cache.conflict_aid(), ConflictAid::None);
+        assert_eq!(c.i_cache.stream_ways(), 0);
+        assert_eq!(SystemConfig::default(), c);
+    }
+
+    #[test]
+    fn improved_matches_section_5() {
+        let c = SystemConfig::improved();
+        assert_eq!(c.i_cache.stream_ways(), 1);
+        assert_eq!(c.i_cache.conflict_aid(), ConflictAid::None);
+        assert_eq!(c.d_cache.stream_ways(), 4);
+        assert_eq!(c.d_cache.conflict_aid(), ConflictAid::VictimCache(4));
+        assert_eq!(c.d_cache.stream_config().depth(), 4);
+    }
+
+    #[test]
+    fn l2_victim_is_off_by_default_and_settable() {
+        assert_eq!(SystemConfig::baseline().l2_victim_entries, 0);
+        assert_eq!(SystemConfig::improved().l2_victim_entries, 0);
+        let cfg = SystemConfig::improved().with_l2_victim(8);
+        assert_eq!(cfg.l2_victim_entries, 8);
+    }
+
+    #[test]
+    fn l2_stream_is_off_by_default_and_settable() {
+        assert_eq!(SystemConfig::baseline().l2_stream_ways, 0);
+        let cfg = SystemConfig::baseline().with_l2_stream(4);
+        assert_eq!(cfg.l2_stream_ways, 4);
+    }
+
+    #[test]
+    fn with_l1_swaps_organizations() {
+        let small = CacheGeometry::direct_mapped(1024, 16).unwrap();
+        let cfg = SystemConfig::baseline().with_l1(
+            AugmentedConfig::new(small),
+            AugmentedConfig::new(small).victim_cache(2),
+        );
+        assert_eq!(cfg.i_cache.geometry().size(), 1024);
+        assert_eq!(cfg.d_cache.conflict_aid(), ConflictAid::VictimCache(2));
+        assert_eq!(cfg.l2.size(), 1 << 20); // untouched
+    }
+}

@@ -1,0 +1,182 @@
+//! Instruction-time accounting (Figures 2-2 and 5-1).
+
+use std::fmt;
+
+/// Where the machine's time went, in instruction times.
+///
+/// The paper's performance figures decompose execution into the ideal
+/// issue time plus stalls charged to each hierarchy level; the "net
+/// performance" of the machine is the ideal fraction of the total.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_system::TimeBreakdown;
+///
+/// let t = TimeBreakdown {
+///     ideal: 800,
+///     onchip_fixup: 0,
+///     l1i_stall: 100,
+///     l1d_stall: 60,
+///     l2_stall: 40,
+/// };
+/// assert_eq!(t.total(), 1000);
+/// assert!((t.performance_fraction() - 0.8).abs() < 1e-12);
+/// assert!((t.lost_to_l1i() - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// One instruction time per issued instruction.
+    pub ideal: u64,
+    /// One-cycle fixups for misses serviced on-chip (victim cache, miss
+    /// cache, stream buffer).
+    pub onchip_fixup: u64,
+    /// Stall time from instruction-cache misses serviced by L2.
+    pub l1i_stall: u64,
+    /// Stall time from data-cache misses serviced by L2.
+    pub l1d_stall: u64,
+    /// Additional stall time from L2 misses to main memory.
+    pub l2_stall: u64,
+}
+
+impl TimeBreakdown {
+    /// Total execution time in instruction times.
+    pub const fn total(&self) -> u64 {
+        self.ideal + self.onchip_fixup + self.l1i_stall + self.l1d_stall + self.l2_stall
+    }
+
+    /// Fraction of peak performance achieved (the solid line in Figures
+    /// 2-2 and 5-1); 0.0 for an empty run.
+    pub fn performance_fraction(&self) -> f64 {
+        self.frac(self.ideal)
+    }
+
+    /// Fraction of time lost to first-level instruction-cache misses.
+    pub fn lost_to_l1i(&self) -> f64 {
+        self.frac(self.l1i_stall)
+    }
+
+    /// Fraction of time lost to first-level data-cache misses.
+    pub fn lost_to_l1d(&self) -> f64 {
+        self.frac(self.l1d_stall)
+    }
+
+    /// Fraction of time lost to second-level misses.
+    pub fn lost_to_l2(&self) -> f64 {
+        self.frac(self.l2_stall)
+    }
+
+    /// Fraction of time spent on one-cycle on-chip fixups.
+    pub fn lost_to_fixups(&self) -> f64 {
+        self.frac(self.onchip_fixup)
+    }
+
+    /// Achieved MIPS given a peak issue rate.
+    pub fn mips(&self, peak_mips: u64) -> f64 {
+        peak_mips as f64 * self.performance_fraction()
+    }
+
+    /// Relative performance of `self` versus `baseline` (>1 means faster),
+    /// comparing time per instruction so different trace lengths are
+    /// comparable. Returns 0.0 if either run is empty.
+    pub fn speedup_over(&self, baseline: &TimeBreakdown) -> f64 {
+        if self.ideal == 0 || baseline.ideal == 0 || self.total() == 0 {
+            return 0.0;
+        }
+        let ours = self.total() as f64 / self.ideal as f64;
+        let theirs = baseline.total() as f64 / baseline.ideal as f64;
+        theirs / ours
+    }
+
+    fn frac(&self, part: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            part as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}% of peak ({} ideal + {} fixup + {} L1I + {} L1D + {} L2 instruction-times)",
+            100.0 * self.performance_fraction(),
+            self.ideal,
+            self.onchip_fixup,
+            self.l1i_stall,
+            self.l1d_stall,
+            self.l2_stall
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let t = TimeBreakdown {
+            ideal: 500,
+            onchip_fixup: 50,
+            l1i_stall: 200,
+            l1d_stall: 150,
+            l2_stall: 100,
+        };
+        let sum = t.performance_fraction()
+            + t.lost_to_fixups()
+            + t.lost_to_l1i()
+            + t.lost_to_l1d()
+            + t.lost_to_l2();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(t.total(), 1000);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let t = TimeBreakdown::default();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.performance_fraction(), 0.0);
+        assert_eq!(t.mips(1000), 0.0);
+        assert_eq!(t.speedup_over(&t), 0.0);
+    }
+
+    #[test]
+    fn speedup_compares_time_per_instruction() {
+        let slow = TimeBreakdown {
+            ideal: 100,
+            l1i_stall: 300,
+            ..TimeBreakdown::default()
+        };
+        let fast = TimeBreakdown {
+            ideal: 100,
+            l1i_stall: 100,
+            ..TimeBreakdown::default()
+        };
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mips_scales_with_fraction() {
+        let t = TimeBreakdown {
+            ideal: 250,
+            l1d_stall: 750,
+            ..TimeBreakdown::default()
+        };
+        assert!((t.mips(1000) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        let t = TimeBreakdown {
+            ideal: 1,
+            l2_stall: 1,
+            ..TimeBreakdown::default()
+        };
+        assert!(t.to_string().contains("50.0% of peak"));
+    }
+}

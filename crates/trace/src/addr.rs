@@ -1,0 +1,255 @@
+//! Byte and cache-line address newtypes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A byte address in the simulated address space.
+///
+/// Addresses are 64-bit; the paper's traces were 32-bit but nothing in the
+/// mechanisms depends on the width, and 64 bits lets workload generators lay
+/// regions out sparsely without worrying about collisions.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_trace::Addr;
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.get(), 0x1234);
+/// assert_eq!((a + 4).get(), 0x1238);
+/// assert_eq!(a.line(16).get(), 0x123);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache-line address for a given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `line_size` is not a power of two.
+    #[inline]
+    pub fn line(self, line_size: u64) -> LineAddr {
+        debug_assert!(
+            line_size.is_power_of_two(),
+            "line size {line_size} must be a power of two"
+        );
+        LineAddr(self.0 >> line_size.trailing_zeros())
+    }
+
+    /// Returns the byte offset of this address within its cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `line_size` is not a power of two.
+    #[inline]
+    pub fn line_offset(self, line_size: u64) -> u64 {
+        debug_assert!(line_size.is_power_of_two());
+        self.0 & (line_size - 1)
+    }
+}
+
+impl From<u64> for Addr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    #[inline]
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line address: a byte address divided by the line size.
+///
+/// Cache models operate on line addresses exclusively; the line size that
+/// produced a `LineAddr` is tracked by the cache, not the address. Sequential
+/// lines (used by stream buffers) are obtained with [`LineAddr::next`].
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_trace::{Addr, LineAddr};
+///
+/// let line = Addr::new(0x1238).line(16);
+/// assert_eq!(line, LineAddr::new(0x123));
+/// assert_eq!(line.next(), LineAddr::new(0x124));
+/// assert_eq!(line.byte_addr(16), Addr::new(0x1230));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the immediately following line (what a sequential stream
+    /// buffer prefetches next).
+    #[inline]
+    pub const fn next(self) -> LineAddr {
+        LineAddr(self.0.wrapping_add(1))
+    }
+
+    /// Returns the line `n` positions after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> LineAddr {
+        LineAddr(self.0.wrapping_add(n))
+    }
+
+    /// Converts back to the byte address of the first byte in the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `line_size` is not a power of two.
+    #[inline]
+    pub fn byte_addr(self, line_size: u64) -> Addr {
+        debug_assert!(line_size.is_power_of_two());
+        Addr(self.0 << line_size.trailing_zeros())
+    }
+}
+
+impl From<u64> for LineAddr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+}
+
+impl From<LineAddr> for u64 {
+    #[inline]
+    fn from(line: LineAddr) -> Self {
+        line.0
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction_strips_offset_bits() {
+        assert_eq!(Addr::new(0x0).line(16), LineAddr::new(0));
+        assert_eq!(Addr::new(0xf).line(16), LineAddr::new(0));
+        assert_eq!(Addr::new(0x10).line(16), LineAddr::new(1));
+        assert_eq!(Addr::new(0x1fff).line(32), LineAddr::new(0xff));
+    }
+
+    #[test]
+    fn line_offset_is_modulo_line_size() {
+        assert_eq!(Addr::new(0x1234).line_offset(16), 4);
+        assert_eq!(Addr::new(0x1230).line_offset(16), 0);
+        assert_eq!(Addr::new(0x12ff).line_offset(256), 0xff);
+    }
+
+    #[test]
+    fn arithmetic_wraps_and_roundtrips() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!((a + 1).get(), 0);
+        assert_eq!(Addr::new(100) - Addr::new(60), 40);
+        let l = Addr::new(0x4560).line(16);
+        assert_eq!(l.byte_addr(16), Addr::new(0x4560));
+    }
+
+    #[test]
+    fn sequential_lines() {
+        let l = LineAddr::new(7);
+        assert_eq!(l.next().get(), 8);
+        assert_eq!(l.offset(3).get(), 10);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr::new(0xbeef).to_string(), "0xbeef");
+        assert_eq!(format!("{:x}", Addr::new(0xbeef)), "beef");
+        assert_eq!(LineAddr::new(0x12).to_string(), "line:0x12");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Addr = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+        let l: LineAddr = 9u64.into();
+        let raw: u64 = l.into();
+        assert_eq!(raw, 9);
+    }
+}

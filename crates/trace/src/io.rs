@@ -1,0 +1,271 @@
+//! Reading and writing traces in the Dinero ("din") text format.
+//!
+//! The din format — one reference per line, `LABEL ADDRESS` — is the
+//! lingua franca of classic trace-driven cache simulators (Dinero III/IV
+//! and the tooling around the very traces the paper used). Supporting it
+//! lets this workspace consume real program traces and export its
+//! synthetic ones for other simulators:
+//!
+//! ```text
+//! 2 1000        # instruction fetch at 0x1000
+//! 0 8fe0        # data read at 0x8fe0
+//! 1 8fe8        # data write at 0x8fe8
+//! ```
+//!
+//! Labels: `0` = read, `1` = write, `2` = instruction fetch. Addresses
+//! are hexadecimal. Blank lines and `#` comments are tolerated on input
+//! and never produced on output.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::{AccessKind, Addr, MemRef, RecordedTrace, TraceSource};
+
+/// Why a din-format trace failed to parse.
+#[derive(Debug)]
+pub enum ParseDinError {
+    /// The line did not have the `LABEL ADDRESS` shape.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The label was not 0, 1, or 2.
+    BadLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The label found.
+        label: String,
+    },
+    /// The address was not valid hexadecimal.
+    BadAddress {
+        /// 1-based line number.
+        line: usize,
+        /// The address text found.
+        addr: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ParseDinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDinError::Malformed { line, text } => {
+                write!(f, "line {line}: expected 'LABEL ADDRESS', got {text:?}")
+            }
+            ParseDinError::BadLabel { line, label } => {
+                write!(f, "line {line}: label must be 0, 1, or 2, got {label:?}")
+            }
+            ParseDinError::BadAddress { line, addr } => {
+                write!(f, "line {line}: invalid hex address {addr:?}")
+            }
+            ParseDinError::Io(e) => write!(f, "I/O error reading trace: {e}"),
+        }
+    }
+}
+
+impl Error for ParseDinError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDinError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseDinError {
+    fn from(e: std::io::Error) -> Self {
+        ParseDinError::Io(e)
+    }
+}
+
+fn kind_label(kind: AccessKind) -> char {
+    match kind {
+        AccessKind::Load => '0',
+        AccessKind::Store => '1',
+        AccessKind::InstrFetch => '2',
+    }
+}
+
+/// Parses a din-format trace from a reader.
+///
+/// A mutable reference can be passed as the reader (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns [`ParseDinError`] on the first malformed line or I/O failure.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_trace::io::read_din;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "2 1000\n0 8fe0\n# comment\n1 8fe8\n";
+/// let trace = read_din(text.as_bytes(), "example")?;
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.stats().stores, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_din<R: BufRead>(reader: R, name: &str) -> Result<RecordedTrace, ParseDinError> {
+    let mut refs = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let text = match line.split('#').next() {
+            Some(t) => t.trim(),
+            None => "",
+        };
+        if text.is_empty() {
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        let (label, addr_text) = match (parts.next(), parts.next()) {
+            (Some(l), Some(a)) => (l, a),
+            _ => {
+                return Err(ParseDinError::Malformed {
+                    line: line_no,
+                    text: text.to_owned(),
+                })
+            }
+        };
+        let kind = match label {
+            "0" => AccessKind::Load,
+            "1" => AccessKind::Store,
+            "2" => AccessKind::InstrFetch,
+            other => {
+                return Err(ParseDinError::BadLabel {
+                    line: line_no,
+                    label: other.to_owned(),
+                })
+            }
+        };
+        let raw = u64::from_str_radix(addr_text.trim_start_matches("0x"), 16).map_err(|_| {
+            ParseDinError::BadAddress {
+                line: line_no,
+                addr: addr_text.to_owned(),
+            }
+        })?;
+        refs.push(MemRef::new(Addr::new(raw), kind));
+    }
+    Ok(RecordedTrace::from_refs(name, refs))
+}
+
+/// Writes a trace source in din format.
+///
+/// A mutable reference can be passed as the writer (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Propagates any I/O failure from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_trace::io::{read_din, write_din};
+/// use jouppi_trace::{Addr, MemRef, RecordedTrace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = RecordedTrace::from_refs("t", vec![MemRef::load(Addr::new(0x10))]);
+/// let mut out = Vec::new();
+/// write_din(&trace, &mut out)?;
+/// assert_eq!(String::from_utf8(out.clone())?, "0 10\n");
+/// let back = read_din(out.as_slice(), "t")?;
+/// assert_eq!(back.as_slice(), trace.as_slice());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_din<W: Write>(source: &dyn TraceSource, mut writer: W) -> std::io::Result<()> {
+    for r in source.refs() {
+        writeln!(writer, "{} {:x}", kind_label(r.kind), r.addr)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RecordedTrace {
+        RecordedTrace::from_refs(
+            "sample",
+            vec![
+                MemRef::instr(Addr::new(0x1000)),
+                MemRef::load(Addr::new(0x8fe0)),
+                MemRef::store(Addr::new(0x8fe8)),
+                MemRef::instr(Addr::new(0x1004)),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_refs() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_din(&trace, &mut buf).unwrap();
+        let back = read_din(buf.as_slice(), "sample").unwrap();
+        assert_eq!(back.as_slice(), trace.as_slice());
+        assert_eq!(back.name(), "sample");
+    }
+
+    #[test]
+    fn written_format_is_canonical() {
+        let mut buf = Vec::new();
+        write_din(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "2 1000\n0 8fe0\n1 8fe8\n2 1004\n");
+    }
+
+    #[test]
+    fn comments_blanks_and_0x_prefixes_are_tolerated() {
+        let text = "# header\n\n2 0x1000   # fetch\n0 10\n";
+        let t = read_din(text.as_bytes(), "x").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.as_slice()[0], MemRef::instr(Addr::new(0x1000)));
+        assert_eq!(t.as_slice()[1], MemRef::load(Addr::new(0x10)));
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_number() {
+        let err = read_din("2 1000\njunk\n".as_bytes(), "x").unwrap_err();
+        match err {
+            ParseDinError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn bad_label_and_address_errors() {
+        match read_din("7 1000\n".as_bytes(), "x").unwrap_err() {
+            ParseDinError::BadLabel { line: 1, label } => assert_eq!(label, "7"),
+            other => panic!("wrong error: {other}"),
+        }
+        match read_din("0 zzz\n".as_bytes(), "x").unwrap_err() {
+            ParseDinError::BadAddress { line: 1, addr } => assert_eq!(addr, "zzz"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_trace() {
+        let t = read_din("".as_bytes(), "empty").unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let io_err = ParseDinError::from(std::io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(Error::source(&io_err).is_some());
+        let mal = ParseDinError::Malformed {
+            line: 3,
+            text: "x".into(),
+        };
+        assert!(Error::source(&mal).is_none());
+    }
+}

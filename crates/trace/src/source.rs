@@ -1,0 +1,171 @@
+//! Trace sources: producers of memory-reference streams.
+
+use crate::{MemRef, TraceStats};
+
+/// A producer of a memory-reference stream.
+///
+/// `TraceSource` is the interface between workload generators and the
+/// simulators: a source hands out a fresh iterator over its references each
+/// time [`TraceSource::refs`] is called, so the same (deterministic, seeded)
+/// trace can be replayed against many cache configurations — exactly how the
+/// paper sweeps cache parameters over fixed traces.
+///
+/// The trait is object-safe; experiment drivers hold `Box<dyn TraceSource>`.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_trace::{Addr, MemRef, RecordedTrace, TraceSource};
+///
+/// let trace = RecordedTrace::from_iter(vec![
+///     MemRef::instr(Addr::new(0)),
+///     MemRef::load(Addr::new(64)),
+/// ]);
+/// // Replays identically every time.
+/// let first: Vec<_> = trace.refs().collect();
+/// let second: Vec<_> = trace.refs().collect();
+/// assert_eq!(first, second);
+/// ```
+pub trait TraceSource {
+    /// Returns a fresh iterator over the trace, from the beginning.
+    fn refs(&self) -> Box<dyn Iterator<Item = MemRef> + '_>;
+
+    /// A short human-readable name for reports (e.g. `"ccom"`).
+    fn name(&self) -> &str {
+        "trace"
+    }
+}
+
+/// An in-memory recorded trace, replayable any number of times.
+///
+/// Useful for tests and for capturing a generator's output once and
+/// replaying it against many cache configurations without regenerating.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecordedTrace {
+    name: String,
+    refs: Vec<MemRef>,
+}
+
+impl RecordedTrace {
+    /// Creates an empty trace with the default name.
+    pub fn new() -> Self {
+        RecordedTrace::default()
+    }
+
+    /// Creates a trace from recorded references.
+    pub fn from_refs(name: impl Into<String>, refs: Vec<MemRef>) -> Self {
+        RecordedTrace {
+            name: name.into(),
+            refs,
+        }
+    }
+
+    /// Records everything a source produces.
+    pub fn record(source: &dyn TraceSource) -> Self {
+        RecordedTrace {
+            name: source.name().to_owned(),
+            refs: source.refs().collect(),
+        }
+    }
+
+    /// Number of references in the trace.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Returns `true` if the trace holds no references.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// The recorded references as a slice.
+    pub fn as_slice(&self) -> &[MemRef] {
+        &self.refs
+    }
+
+    /// Computes Table 2-1-style statistics for the trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_refs(self.refs.iter().copied())
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn refs(&self) -> Box<dyn Iterator<Item = MemRef> + '_> {
+        Box::new(self.refs.iter().copied())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl FromIterator<MemRef> for RecordedTrace {
+    fn from_iter<I: IntoIterator<Item = MemRef>>(iter: I) -> Self {
+        RecordedTrace {
+            name: String::from("recorded"),
+            refs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<MemRef> for RecordedTrace {
+    fn extend<I: IntoIterator<Item = MemRef>>(&mut self, iter: I) {
+        self.refs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+
+    fn sample() -> Vec<MemRef> {
+        vec![
+            MemRef::instr(Addr::new(0)),
+            MemRef::instr(Addr::new(4)),
+            MemRef::load(Addr::new(1024)),
+            MemRef::store(Addr::new(1032)),
+        ]
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let t = RecordedTrace::from_refs("t", sample());
+        assert_eq!(t.refs().collect::<Vec<_>>(), t.refs().collect::<Vec<_>>());
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn record_copies_source() {
+        let t = RecordedTrace::from_refs("orig", sample());
+        let copy = RecordedTrace::record(&t);
+        assert_eq!(copy.name(), "orig");
+        assert_eq!(copy.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn stats_match_contents() {
+        let t = RecordedTrace::from_refs("t", sample());
+        let s = t.stats();
+        assert_eq!(s.instruction_refs, 2);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: RecordedTrace = sample().into_iter().collect();
+        assert_eq!(t.len(), 4);
+        t.extend(sample());
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.name(), "recorded");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = RecordedTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().total_refs(), 0);
+    }
+}

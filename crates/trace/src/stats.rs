@@ -1,0 +1,189 @@
+//! Trace-level statistics (the paper's Table 2-1).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use crate::{AccessKind, MemRef};
+
+/// Counters describing a trace, mirroring Table 2-1 of the paper
+/// ("dynamic instr.", "data refs.", "total refs.").
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_trace::{Addr, MemRef, TraceStats};
+///
+/// let stats = TraceStats::from_refs([
+///     MemRef::instr(Addr::new(0)),
+///     MemRef::load(Addr::new(8)),
+///     MemRef::store(Addr::new(16)),
+/// ]);
+/// assert_eq!(stats.data_refs(), 2);
+/// assert_eq!(stats.total_refs(), 3);
+/// assert!((stats.data_per_instr() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceStats {
+    /// Number of instruction fetches (dynamic instruction count).
+    pub instruction_refs: u64,
+    /// Number of data loads.
+    pub loads: u64,
+    /// Number of data stores.
+    pub stores: u64,
+}
+
+impl TraceStats {
+    /// Creates zeroed statistics.
+    pub const fn new() -> Self {
+        TraceStats {
+            instruction_refs: 0,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Tallies statistics over a reference stream.
+    pub fn from_refs<I: IntoIterator<Item = MemRef>>(refs: I) -> Self {
+        let mut stats = TraceStats::new();
+        for r in refs {
+            stats.record(r.kind);
+        }
+        stats
+    }
+
+    /// Records one reference of the given kind.
+    #[inline]
+    pub fn record(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::InstrFetch => self.instruction_refs += 1,
+            AccessKind::Load => self.loads += 1,
+            AccessKind::Store => self.stores += 1,
+        }
+    }
+
+    /// Total data references (loads + stores).
+    #[inline]
+    pub const fn data_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total references of all kinds.
+    #[inline]
+    pub const fn total_refs(&self) -> u64 {
+        self.instruction_refs + self.data_refs()
+    }
+
+    /// Data references per instruction (the paper's traces run ~0.3-0.5).
+    ///
+    /// Returns 0.0 for an empty instruction stream rather than dividing by
+    /// zero, so it is always safe to call on partial traces.
+    pub fn data_per_instr(&self) -> f64 {
+        if self.instruction_refs == 0 {
+            0.0
+        } else {
+            self.data_refs() as f64 / self.instruction_refs as f64
+        }
+    }
+}
+
+impl Add for TraceStats {
+    type Output = TraceStats;
+
+    fn add(self, rhs: TraceStats) -> TraceStats {
+        TraceStats {
+            instruction_refs: self.instruction_refs + rhs.instruction_refs,
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+        }
+    }
+}
+
+impl AddAssign for TraceStats {
+    fn add_assign(&mut self, rhs: TraceStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for TraceStats {
+    fn sum<I: Iterator<Item = TraceStats>>(iter: I) -> Self {
+        iter.fold(TraceStats::new(), Add::add)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instr, {} data ({} loads, {} stores), {} total",
+            self.instruction_refs,
+            self.data_refs(),
+            self.loads,
+            self.stores,
+            self.total_refs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+
+    #[test]
+    fn tallies_by_kind() {
+        let mut s = TraceStats::new();
+        s.record(AccessKind::InstrFetch);
+        s.record(AccessKind::InstrFetch);
+        s.record(AccessKind::Load);
+        s.record(AccessKind::Store);
+        assert_eq!(s.instruction_refs, 2);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.data_refs(), 2);
+        assert_eq!(s.total_refs(), 4);
+    }
+
+    #[test]
+    fn data_per_instr_handles_zero() {
+        assert_eq!(TraceStats::new().data_per_instr(), 0.0);
+        let s = TraceStats {
+            instruction_refs: 4,
+            loads: 1,
+            stores: 1,
+        };
+        assert!((s.data_per_instr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = TraceStats {
+            instruction_refs: 1,
+            loads: 2,
+            stores: 3,
+        };
+        let b = TraceStats {
+            instruction_refs: 10,
+            loads: 20,
+            stores: 30,
+        };
+        let c = a + b;
+        assert_eq!(c.instruction_refs, 11);
+        assert_eq!(c.loads, 22);
+        assert_eq!(c.stores, 33);
+        let total: TraceStats = [a, b].into_iter().sum();
+        assert_eq!(total, c);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_mentions_all_counts() {
+        let s = TraceStats::from_refs([MemRef::instr(Addr::new(0)), MemRef::load(Addr::new(8))]);
+        let text = s.to_string();
+        assert!(text.contains("1 instr"));
+        assert!(text.contains("1 data"));
+        assert!(text.contains("2 total"));
+    }
+}

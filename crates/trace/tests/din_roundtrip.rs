@@ -1,0 +1,45 @@
+//! Property test: din-format serialization round-trips arbitrary traces.
+
+use jouppi_trace::io::{read_din, write_din};
+use jouppi_trace::{AccessKind, Addr, MemRef, RecordedTrace};
+use proptest::prelude::*;
+
+fn arb_ref() -> impl Strategy<Value = MemRef> {
+    (any::<u64>(), 0u8..3).prop_map(|(addr, kind)| {
+        let kind = match kind {
+            0 => AccessKind::Load,
+            1 => AccessKind::Store,
+            _ => AccessKind::InstrFetch,
+        };
+        MemRef::new(Addr::new(addr), kind)
+    })
+}
+
+proptest! {
+    #[test]
+    fn write_then_read_is_identity(refs in prop::collection::vec(arb_ref(), 0..200)) {
+        let trace = RecordedTrace::from_refs("t", refs);
+        let mut buf = Vec::new();
+        write_din(&trace, &mut buf).expect("writing to a Vec cannot fail");
+        let back = read_din(buf.as_slice(), "t").expect("own output must parse");
+        prop_assert_eq!(back.as_slice(), trace.as_slice());
+    }
+
+    #[test]
+    fn output_is_line_per_ref_ascii(refs in prop::collection::vec(arb_ref(), 1..100)) {
+        let trace = RecordedTrace::from_refs("t", refs.clone());
+        let mut buf = Vec::new();
+        write_din(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).expect("din output is UTF-8");
+        prop_assert!(text.is_ascii());
+        prop_assert_eq!(text.lines().count(), refs.len());
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let label = parts.next().expect("label");
+            prop_assert!(matches!(label, "0" | "1" | "2"));
+            let addr = parts.next().expect("address");
+            prop_assert!(u64::from_str_radix(addr, 16).is_ok());
+            prop_assert!(parts.next().is_none());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Combining an instruction engine and data patterns into a trace.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use jouppi_trace::MemRef;
+
+use crate::data::DataPattern;
+use crate::exec::Executor;
+
+/// How long a trace to generate, in dynamic instructions.
+///
+/// The paper's traces run 24-145M instructions; the default of one million
+/// is enough for stable miss rates on 4KB caches while keeping full
+/// experiment sweeps interactive. Raise it (e.g. `repro --scale 5000000`)
+/// for smoother curves at large cache sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Scale {
+    /// Dynamic instruction count of the generated trace.
+    pub instructions: u64,
+}
+
+impl Scale {
+    /// A trace of `instructions` dynamic instructions.
+    pub const fn new(instructions: u64) -> Self {
+        Scale { instructions }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::new(1_000_000)
+    }
+}
+
+/// An iterator producing a full benchmark trace: instruction fetches from
+/// an [`Executor`] interleaved with data references from a
+/// [`DataPattern`], at a fixed average data-reference-per-instruction
+/// ratio.
+///
+/// Created by [`Benchmark::source`](crate::Benchmark::source); exposed for
+/// building custom workloads.
+pub struct TraceGen {
+    exec: Executor,
+    data: Box<dyn DataPattern>,
+    rng: StdRng,
+    data_per_instr: f64,
+    store_frac: f64,
+    remaining: u64,
+    pending_data: Option<MemRef>,
+}
+
+impl TraceGen {
+    /// Builds a generator.
+    ///
+    /// * `data_per_instr` — average data references per instruction
+    ///   (Table 2-1's traces run ≈0.3-0.5),
+    /// * `store_frac` — fraction of data references that are stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_per_instr` is negative or greater than 1, or if
+    /// `store_frac` is outside `[0, 1]`.
+    pub fn new(
+        exec: Executor,
+        data: Box<dyn DataPattern>,
+        rng: StdRng,
+        scale: Scale,
+        data_per_instr: f64,
+        store_frac: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&data_per_instr),
+            "data_per_instr must be in [0,1] (at most one data ref per instruction)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&store_frac),
+            "store_frac must be a probability"
+        );
+        TraceGen {
+            exec,
+            data,
+            rng,
+            data_per_instr,
+            store_frac,
+            remaining: scale.instructions,
+            pending_data: None,
+        }
+    }
+}
+
+impl Iterator for TraceGen {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if let Some(data_ref) = self.pending_data.take() {
+            return Some(data_ref);
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let fetch = MemRef::instr(self.exec.next_fetch(&mut self.rng));
+        if self.data_per_instr > 0.0 && self.rng.gen_bool(self.data_per_instr) {
+            let addr = self.data.next_addr(&mut self.rng);
+            let data_ref = if self.rng.gen_bool(self.store_frac) {
+                MemRef::store(addr)
+            } else {
+                MemRef::load(addr)
+            };
+            self.pending_data = Some(data_ref);
+        }
+        Some(fetch)
+    }
+}
+
+impl std::fmt::Debug for TraceGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceGen")
+            .field("remaining_instructions", &self.remaining)
+            .field("data_per_instr", &self.data_per_instr)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::StridedSweep;
+    use crate::exec::{CodeLayout, ExecConfig};
+    use jouppi_trace::{AccessKind, TraceStats};
+    use rand::SeedableRng;
+
+    fn gen(scale: u64, dpi: f64, store: f64) -> TraceGen {
+        let exec = Executor::new(CodeLayout::contiguous(0, &[64]), ExecConfig::default());
+        TraceGen::new(
+            exec,
+            Box::new(StridedSweep::new(1 << 20, 8, 1 << 16)),
+            StdRng::seed_from_u64(5),
+            Scale::new(scale),
+            dpi,
+            store,
+        )
+    }
+
+    #[test]
+    fn instruction_count_matches_scale() {
+        let stats = TraceStats::from_refs(gen(10_000, 0.4, 0.3));
+        assert_eq!(stats.instruction_refs, 10_000);
+    }
+
+    #[test]
+    fn data_ratio_is_respected() {
+        let stats = TraceStats::from_refs(gen(50_000, 0.4, 0.3));
+        let ratio = stats.data_per_instr();
+        assert!((ratio - 0.4).abs() < 0.02, "expected ~0.4, got {ratio}");
+    }
+
+    #[test]
+    fn store_fraction_is_respected() {
+        let stats = TraceStats::from_refs(gen(50_000, 0.5, 0.25));
+        let frac = stats.stores as f64 / stats.data_refs() as f64;
+        assert!((frac - 0.25).abs() < 0.03, "expected ~0.25, got {frac}");
+    }
+
+    #[test]
+    fn data_refs_follow_their_instruction() {
+        let refs: Vec<MemRef> = gen(1000, 1.0, 0.0).collect();
+        // dpi = 1.0: strict ifetch/data alternation.
+        for (i, r) in refs.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(r.kind, AccessKind::InstrFetch);
+            } else {
+                assert_eq!(r.kind, AccessKind::Load);
+            }
+        }
+        assert_eq!(refs.len(), 2000);
+    }
+
+    #[test]
+    fn zero_dpi_is_pure_instruction_stream() {
+        let stats = TraceStats::from_refs(gen(1000, 0.0, 0.0));
+        assert_eq!(stats.data_refs(), 0);
+        assert_eq!(stats.total_refs(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "data_per_instr")]
+    fn ratio_above_one_panics() {
+        let _ = gen(10, 1.5, 0.0);
+    }
+}

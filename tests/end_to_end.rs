@@ -1,0 +1,124 @@
+//! End-to-end integration: workloads → caches → system model, spanning
+//! every crate in the workspace.
+
+use jouppi::cache::{CacheGeometry, ClassifiedCache};
+use jouppi::core::{AugmentedCache, AugmentedConfig, StreamBufferConfig};
+use jouppi::system::{SystemConfig, SystemModel};
+use jouppi::trace::{RecordedTrace, TraceSource};
+use jouppi::workloads::{Benchmark, Scale};
+
+fn scale() -> Scale {
+    Scale::new(60_000)
+}
+
+#[test]
+fn full_pipeline_runs_every_benchmark() {
+    for b in Benchmark::ALL {
+        let src = b.source(scale(), 1);
+        let report = SystemModel::new(SystemConfig::baseline()).run(&src);
+        assert_eq!(report.refs.instruction_refs, 60_000, "{b}");
+        assert!(report.performance_fraction() > 0.0, "{b}");
+        assert!(report.performance_fraction() < 1.0, "{b}");
+        assert!(report.l2_stats.accesses > 0, "{b}: L2 never touched");
+    }
+}
+
+#[test]
+fn improved_machine_never_loses() {
+    for b in Benchmark::ALL {
+        let src = b.source(scale(), 2);
+        let base = SystemModel::new(SystemConfig::baseline()).run(&src);
+        let imp = SystemModel::new(SystemConfig::improved()).run(&src);
+        assert!(
+            imp.time.total() <= base.time.total(),
+            "{b}: improved machine slower ({} vs {})",
+            imp.time.total(),
+            base.time.total()
+        );
+        assert!(imp.l1_miss_rate() <= base.l1_miss_rate(), "{b}");
+    }
+}
+
+#[test]
+fn recorded_traces_replay_identically_through_caches() {
+    let src = Benchmark::Yacc.source(Scale::new(20_000), 3);
+    let recorded = RecordedTrace::record(&src);
+    let run = |t: &dyn TraceSource| {
+        let geom = CacheGeometry::direct_mapped(4096, 16).unwrap();
+        let mut c = AugmentedCache::new(AugmentedConfig::new(geom).victim_cache(4));
+        for r in t.refs() {
+            if r.kind.is_data() {
+                c.access(r.addr);
+            }
+        }
+        *c.stats()
+    };
+    assert_eq!(run(&src), run(&recorded));
+}
+
+#[test]
+fn miss_classification_is_consistent_with_direct_simulation() {
+    // The classifier's total must equal the plain cache's miss count on
+    // the same stream — across all benchmarks.
+    let geom = CacheGeometry::direct_mapped(4096, 16).unwrap();
+    for b in Benchmark::ALL {
+        let src = b.source(Scale::new(30_000), 4);
+        let mut classified = ClassifiedCache::new(geom);
+        let mut plain = jouppi::cache::Cache::new(geom);
+        let mut plain_misses = 0u64;
+        for r in src.refs().filter(|r| r.kind.is_data()) {
+            classified.access(r.addr);
+            if plain.access(r.addr).is_miss() {
+                plain_misses += 1;
+            }
+        }
+        assert_eq!(classified.breakdown().total(), plain_misses, "{b}");
+        assert_eq!(classified.stats().misses, plain_misses, "{b}");
+    }
+}
+
+#[test]
+fn victim_cache_exclusivity_holds_across_real_workloads() {
+    let geom = CacheGeometry::direct_mapped(1024, 16).unwrap();
+    for b in [Benchmark::Met, Benchmark::Ccom] {
+        let src = b.source(Scale::new(15_000), 5);
+        let mut c = AugmentedCache::new(AugmentedConfig::new(geom).victim_cache(4));
+        for (i, r) in src.refs().filter(|r| r.kind.is_data()).enumerate() {
+            c.access(r.addr);
+            if i % 997 == 0 {
+                assert!(c.exclusivity_holds(), "{b}: dup at ref {i}");
+            }
+        }
+        assert!(c.exclusivity_holds(), "{b}: dup at end");
+    }
+}
+
+#[test]
+fn stream_buffers_and_victim_caches_compose() {
+    // Combined organization must remove at least as many misses as each
+    // mechanism alone on every benchmark (data side).
+    let geom = CacheGeometry::direct_mapped(4096, 16).unwrap();
+    for b in Benchmark::ALL {
+        let src = b.source(Scale::new(40_000), 6);
+        let trace = RecordedTrace::record(&src);
+        let run = |cfg: AugmentedConfig| {
+            let mut c = AugmentedCache::new(cfg);
+            for r in trace.as_slice().iter().filter(|r| r.kind.is_data()) {
+                c.access(r.addr);
+            }
+            c.stats().removed_misses()
+        };
+        let vc_only = run(AugmentedConfig::new(geom).victim_cache(4));
+        let sb_only = run(AugmentedConfig::new(geom)
+            .multi_way_stream_buffer(4, StreamBufferConfig::new(4)));
+        let both = run(AugmentedConfig::new(geom)
+            .victim_cache(4)
+            .multi_way_stream_buffer(4, StreamBufferConfig::new(4)));
+        // Near-orthogonality (§5): the combination captures most of both.
+        let best_single = vc_only.max(sb_only);
+        assert!(
+            both >= best_single,
+            "{b}: both={both} < best single={best_single}"
+        );
+    }
+}
