@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the tier-1 verify from
+# ROADMAP.md. Everything here must pass with no network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI OK"

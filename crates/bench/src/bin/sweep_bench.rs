@@ -1,0 +1,97 @@
+//! Times full experiment sweeps with the sweep engine forced sequential
+//! and again at the default worker count, then writes `BENCH_sweep.json`.
+//!
+//! Usage: `sweep-bench [SCALE] [OUT_PATH]`
+//!
+//! * `SCALE` — instructions per benchmark trace (default 60000).
+//! * `OUT_PATH` — where to write the JSON report (default
+//!   `BENCH_sweep.json` in the current directory).
+//!
+//! The default-mode worker count honors `JOUPPI_THREADS`.
+
+use std::time::Instant;
+
+use jouppi_bench::{bench_config, render_json, Measurement};
+use jouppi_experiments::common::{record_traces, ExperimentConfig};
+use jouppi_experiments::{conflict_sweep, fig_3_1, stream_sweep, sweep};
+use jouppi_workloads::Scale;
+
+fn time_sweep(
+    name: &'static str,
+    force_sequential: bool,
+    refs: u64,
+    run: &dyn Fn(),
+) -> Measurement {
+    sweep::set_thread_count(if force_sequential { 1 } else { 0 });
+    let threads = sweep::thread_count();
+    let start = Instant::now();
+    run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    sweep::set_thread_count(0);
+    Measurement {
+        sweep: name,
+        mode: if force_sequential {
+            "forced_sequential"
+        } else {
+            "default"
+        },
+        threads,
+        refs,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = bench_config();
+    if let Some(raw) = args.next() {
+        let n: u64 = raw.parse().expect("SCALE must be an integer");
+        cfg = ExperimentConfig {
+            scale: Scale::new(n),
+            ..cfg
+        };
+    }
+    let out = args.next().unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+
+    // Every replay of a cache side touches each of that side's references
+    // exactly once, so refs-per-sweep is (replays per side) × trace size.
+    let total: u64 = record_traces(&cfg)
+        .iter()
+        .map(|(_, t)| t.len() as u64)
+        .sum();
+    let fig31 = || {
+        fig_3_1::run(&cfg);
+    };
+    let victim = || {
+        conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 4);
+    };
+    let stream = || {
+        stream_sweep::run(&cfg, 1, 8);
+    };
+    let sweeps: [(&'static str, u64, &dyn Fn()); 3] = [
+        ("fig_3_1", total, &fig31),
+        ("victim_cache_4", 5 * total, &victim),
+        ("stream_single_8", 10 * total, &stream),
+    ];
+
+    let mut runs = Vec::new();
+    for (name, refs, run) in sweeps {
+        for force_sequential in [true, false] {
+            let m = time_sweep(name, force_sequential, refs, run);
+            eprintln!(
+                "{:>16} {:>17} ({} thread{}): {:>9.1} ms, {:>12.0} refs/s",
+                m.sweep,
+                m.mode,
+                m.threads,
+                if m.threads == 1 { "" } else { "s" },
+                m.wall_ms,
+                m.refs_per_sec()
+            );
+            runs.push(m);
+        }
+    }
+
+    let report = render_json(sweep::available_cores(), &cfg, &runs);
+    std::fs::write(&out, &report).expect("failed to write the benchmark report");
+    eprintln!("wrote {out}");
+}

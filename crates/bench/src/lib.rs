@@ -1,35 +1,114 @@
-//! Benchmark harness support for the Jouppi (ISCA 1990) reproduction.
+//! Benchmark harness for the Jouppi (ISCA 1990) reproduction.
 //!
-//! The Criterion benches under `benches/` time the regeneration of every
-//! table and figure in the paper (`benches/experiments.rs` — one group
-//! per artifact), the simulator hot paths (`benches/simulators.rs`), and
-//! trace generation (`benches/workloads.rs`). Run them with
-//! `cargo bench --workspace`.
+//! The `sweep-bench` binary (`src/bin/sweep_bench.rs`) times whole
+//! experiment sweeps through the parallel sweep engine — once with the
+//! engine forced sequential and once at the configured worker count —
+//! and writes the measurements to `BENCH_sweep.json`. Everything is
+//! dependency-free: `std::time::Instant` for timing, hand-rolled JSON
+//! for output.
 //!
-//! This library crate only hosts the shared scale constants so the bench
-//! targets agree on workload sizes.
+//! This library hosts the measurement record and its JSON rendering so
+//! both can be unit-tested.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use jouppi_experiments::common::ExperimentConfig;
 
-/// Trace scale used by the per-figure benches: large enough for the
-/// curves to have their shape, small enough for Criterion's repetitions.
+/// Trace scale used by the sweep benchmark: large enough that trace
+/// replay dominates thread-pool overhead, small enough to finish in
+/// seconds.
 pub fn bench_config() -> ExperimentConfig {
-    ExperimentConfig::with_scale(10_000)
+    ExperimentConfig::with_scale(60_000)
 }
 
-/// Number of references used by the microbenches.
-pub const MICRO_REFS: usize = 100_000;
+/// One timed sweep run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Which sweep was timed (e.g. `"fig_3_1"`).
+    pub sweep: &'static str,
+    /// How the worker count was chosen: `"forced_sequential"` or
+    /// `"default"` (all cores unless `JOUPPI_THREADS` caps it).
+    pub mode: &'static str,
+    /// Worker threads the sweep engine actually used.
+    pub threads: usize,
+    /// Total memory references simulated across all cells.
+    pub refs: u64,
+    /// Wall-clock time in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl Measurement {
+    /// References simulated per second of wall-clock time.
+    pub fn refs_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.refs as f64 * 1000.0 / self.wall_ms
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{ \"sweep\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0} }}",
+            self.sweep,
+            self.mode,
+            self.threads,
+            self.refs,
+            self.wall_ms,
+            self.refs_per_sec()
+        )
+    }
+}
+
+/// Renders the full benchmark report as pretty-printed JSON.
+pub fn render_json(cores: usize, cfg: &ExperimentConfig, runs: &[Measurement]) -> String {
+    let rows: Vec<String> = runs.iter().map(Measurement::json).collect();
+    format!(
+        "{{\n  \"benchmark\": \"sweep-bench\",\n  \"cores\": {},\n  \"scale_instructions\": {},\n  \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        cores,
+        cfg.scale.instructions,
+        cfg.seed,
+        rows.join(",\n")
+    )
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn sample() -> Measurement {
+        Measurement {
+            sweep: "fig_3_1",
+            mode: "default",
+            threads: 4,
+            refs: 2_000,
+            wall_ms: 500.0,
+        }
+    }
+
     #[test]
-    fn bench_config_is_small() {
-        assert!(bench_config().scale.instructions <= 100_000);
-        const { assert!(MICRO_REFS >= 10_000) };
+    fn refs_per_sec_scales_from_millis() {
+        assert_eq!(sample().refs_per_sec(), 4_000.0);
+        let zero = Measurement {
+            wall_ms: 0.0,
+            ..sample()
+        };
+        assert_eq!(zero.refs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_report_is_balanced_and_complete() {
+        let cfg = bench_config();
+        let text = render_json(2, &cfg, &[sample(), sample()]);
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces:\n{text}"
+        );
+        assert!(text.contains("\"cores\": 2"));
+        assert!(text.contains("\"refs_per_sec\": 4000"));
+        assert!(text.contains("\"scale_instructions\": 60000"));
+        assert_eq!(text.matches("\"sweep\": \"fig_3_1\"").count(), 2);
     }
 }

@@ -21,6 +21,12 @@ pub enum GeometryError {
         /// Requested associativity.
         associativity: u64,
     },
+    /// The derived set count is not a power of two, so shift/mask set
+    /// indexing would be wrong.
+    SetCountNotPowerOfTwo {
+        /// The derived number of sets.
+        num_sets: u64,
+    },
 }
 
 impl fmt::Display for GeometryError {
@@ -37,6 +43,10 @@ impl fmt::Display for GeometryError {
             } => write!(
                 f,
                 "cache of {size} bytes cannot hold {associativity}-way sets of {line_size}-byte lines"
+            ),
+            GeometryError::SetCountNotPowerOfTwo { num_sets } => write!(
+                f,
+                "derived set count {num_sets} is not a power of two; set indexing is shift/mask"
             ),
         }
     }
@@ -72,6 +82,11 @@ pub struct CacheGeometry {
     size: u64,
     line_size: u64,
     associativity: u64,
+    /// Cached `line_size.trailing_zeros()`: byte→line is one shift.
+    line_shift: u32,
+    /// Cached `num_sets - 1`: line→set is one mask. Valid because the
+    /// constructor proves the set count is a power of two.
+    set_mask: u64,
 }
 
 impl CacheGeometry {
@@ -108,10 +123,19 @@ impl CacheGeometry {
                 associativity,
             });
         }
+        // All three dimensions being powers of two makes the set count one
+        // as well; the explicit check keeps the shift/mask indexing honest
+        // if the validation rules above ever loosen.
+        let num_sets = (size / line_size) / associativity;
+        if !num_sets.is_power_of_two() {
+            return Err(GeometryError::SetCountNotPowerOfTwo { num_sets });
+        }
         Ok(CacheGeometry {
             size,
             line_size,
             associativity,
+            line_shift: line_size.trailing_zeros(),
+            set_mask: num_sets - 1,
         })
     }
 
@@ -192,15 +216,19 @@ impl CacheGeometry {
     }
 
     /// The line address for a byte address under this geometry.
+    ///
+    /// A single shift by the cached line-size log; no division.
     #[inline]
     pub fn line_of(&self, addr: Addr) -> LineAddr {
-        addr.line(self.line_size)
+        LineAddr::new(addr.get() >> self.line_shift)
     }
 
     /// The set index a line maps to.
+    ///
+    /// A single mask with the cached `num_sets - 1`; no modulo.
     #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
-        (line.get() & (self.num_sets() - 1)) as usize
+        (line.get() & self.set_mask) as usize
     }
 }
 
@@ -214,7 +242,12 @@ impl fmt::Display for CacheGeometry {
             format!("{}-way", self.associativity)
         };
         if self.size.is_multiple_of(1024) {
-            write!(f, "{}KB {assoc}, {}B lines", self.size / 1024, self.line_size)
+            write!(
+                f,
+                "{}KB {assoc}, {}B lines",
+                self.size / 1024,
+                self.line_size
+            )
         } else {
             write!(f, "{}B {assoc}, {}B lines", self.size, self.line_size)
         }
@@ -301,6 +334,47 @@ mod tests {
         assert!(e.to_string().contains("cannot hold"));
         let e = CacheGeometry::new(0, 16, 1).unwrap_err();
         assert!(e.to_string().contains("nonzero"));
+    }
+
+    #[test]
+    fn shift_mask_indexing_matches_div_mod() {
+        // Every accepted geometry must index identically to the naive
+        // divide/modulo formulation.
+        for (size, line, assoc) in [
+            (4096, 16, 1),
+            (64, 16, 4),
+            (1 << 20, 128, 1),
+            (8192, 32, 2),
+            (32, 16, 2),
+        ] {
+            let g = CacheGeometry::new(size, line, assoc).unwrap();
+            assert!(g.num_sets().is_power_of_two(), "{g}");
+            for raw in [0u64, 1, 15, 16, 255, 4096, 12345, u64::MAX / 2] {
+                let line_addr = g.line_of(Addr::new(raw));
+                assert_eq!(line_addr, Addr::new(raw).line(g.line_size()), "{g}");
+                assert_eq!(
+                    g.set_of(line_addr) as u64,
+                    line_addr.get() % g.num_sets(),
+                    "{g} line {line_addr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_set_counts_cannot_arise() {
+        // Shapes that would yield a non-power-of-two set count are rejected
+        // at an earlier validation step (some dimension is itself not a
+        // power of two), so set_mask is always sound.
+        for (size, line, assoc) in [(48, 16, 1), (4096, 48, 1), (4096, 16, 3), (3 << 10, 16, 2)] {
+            let err = CacheGeometry::new(size, line, assoc).unwrap_err();
+            assert!(
+                matches!(err, GeometryError::NotPowerOfTwo(..)),
+                "({size},{line},{assoc}) gave {err:?}"
+            );
+        }
+        let e = GeometryError::SetCountNotPowerOfTwo { num_sets: 3 };
+        assert!(e.to_string().contains("not a power of two"));
     }
 
     #[test]

@@ -1,4 +1,8 @@
 //! Replacement policies for set-associative caches.
+//!
+//! The `Random` policy draws from [`jouppi_trace::SmallRng`], the
+//! workspace-wide deterministic PRNG, so simulations stay reproducible
+//! for a given seed without any external dependency.
 
 use std::fmt;
 
@@ -14,7 +18,7 @@ pub enum ReplacementPolicy {
     Lru,
     /// Evict the line that has been resident longest, ignoring use.
     Fifo,
-    /// Evict a pseudo-random line (deterministic xorshift sequence).
+    /// Evict a pseudo-random line (deterministic seeded sequence).
     Random,
 }
 
@@ -26,38 +30,6 @@ impl fmt::Display for ReplacementPolicy {
             ReplacementPolicy::Random => "random",
         };
         f.write_str(name)
-    }
-}
-
-/// A small deterministic xorshift64* generator for the `Random` policy.
-///
-/// Implemented inline so the cache substrate carries no RNG dependency; the
-/// sequence is fixed for a given seed, keeping simulations reproducible.
-#[derive(Clone, Debug)]
-pub(crate) struct XorShift64 {
-    state: u64,
-}
-
-impl XorShift64 {
-    pub(crate) fn new(seed: u64) -> Self {
-        XorShift64 {
-            state: seed.max(1), // xorshift must not start at 0
-        }
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    /// Uniform-ish value in `0..bound` (bound must be nonzero).
-    pub(crate) fn below(&mut self, bound: usize) -> usize {
-        debug_assert!(bound > 0);
-        (self.next_u64() % bound as u64) as usize
     }
 }
 
@@ -75,31 +47,5 @@ mod tests {
     #[test]
     fn default_is_lru() {
         assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
-    }
-
-    #[test]
-    fn xorshift_is_deterministic_and_varies() {
-        let mut a = XorShift64::new(42);
-        let mut b = XorShift64::new(42);
-        let va: Vec<_> = (0..8).map(|_| a.next_u64()).collect();
-        let vb: Vec<_> = (0..8).map(|_| b.next_u64()).collect();
-        assert_eq!(va, vb);
-        assert!(va.windows(2).any(|w| w[0] != w[1]));
-    }
-
-    #[test]
-    fn xorshift_handles_zero_seed() {
-        let mut r = XorShift64::new(0);
-        assert_ne!(r.next_u64(), 0);
-    }
-
-    #[test]
-    fn below_respects_bound() {
-        let mut r = XorShift64::new(7);
-        for _ in 0..1000 {
-            assert!(r.below(10) < 10);
-        }
-        // bound 1 always yields 0
-        assert_eq!(r.below(1), 0);
     }
 }

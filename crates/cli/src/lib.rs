@@ -319,9 +319,7 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn std::error::Error>> {
     }
 
     let mut cache = AugmentedCache::new(build_config(opts));
-    let mut classifier = opts
-        .classify
-        .then(|| MissClassifier::new(opts.geometry));
+    let mut classifier = opts.classify.then(|| MissClassifier::new(opts.geometry));
     for r in trace.refs() {
         let wanted = match opts.side {
             SideFilter::Instruction => r.kind.is_instr(),
@@ -333,10 +331,7 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn std::error::Error>> {
         }
         let outcome = cache.access(r.addr);
         if let Some(cls) = classifier.as_mut() {
-            cls.observe(
-                opts.geometry.line_of(r.addr),
-                !outcome.is_l1_hit(),
-            );
+            cls.observe(opts.geometry.line_of(r.addr), !outcome.is_l1_hit());
         }
     }
     let s = cache.stats();
@@ -345,7 +340,10 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn std::error::Error>> {
     t.row(["geometry".to_owned(), opts.geometry.to_string()]);
     t.row(["accesses".to_owned(), s.accesses.to_string()]);
     t.row(["L1 hits".to_owned(), s.l1_hits.to_string()]);
-    t.row(["L1 miss rate".to_owned(), format!("{:.4}", s.l1_miss_rate())]);
+    t.row([
+        "L1 miss rate".to_owned(),
+        format!("{:.4}", s.l1_miss_rate()),
+    ]);
     t.row(["victim-cache hits".to_owned(), s.victim_hits.to_string()]);
     t.row(["miss-cache hits".to_owned(), s.miss_cache_hits.to_string()]);
     t.row(["stream-buffer hits".to_owned(), s.stream_hits.to_string()]);
@@ -384,8 +382,22 @@ mod tests {
     #[test]
     fn full_option_set_parses() {
         let o = parse(&[
-            "--workload", "met", "--cache", "8192:32:2", "--victim", "4", "--stream", "4x8",
-            "--stride-detect", "64", "--side", "all", "--scale", "1000", "--seed", "7",
+            "--workload",
+            "met",
+            "--cache",
+            "8192:32:2",
+            "--victim",
+            "4",
+            "--stream",
+            "4x8",
+            "--stride-detect",
+            "64",
+            "--side",
+            "all",
+            "--scale",
+            "1000",
+            "--seed",
+            "7",
             "--classify",
         ])
         .unwrap();
@@ -425,10 +437,7 @@ mod tests {
     fn build_config_reflects_options() {
         let o = parse(&["--victim", "2", "--stream", "1x4"]).unwrap();
         let cfg = build_config(&o);
-        assert_eq!(
-            cfg.conflict_aid(),
-            jouppi_core::ConflictAid::VictimCache(2)
-        );
+        assert_eq!(cfg.conflict_aid(), jouppi_core::ConflictAid::VictimCache(2));
         assert_eq!(cfg.stream_ways(), 1);
         assert_eq!(cfg.stride_detection(), 0);
         let o = parse(&["--stream", "4x4", "--stride-detect", "32"]).unwrap();

@@ -50,9 +50,7 @@ usage: jouppi-stat [OPTIONS]
 /// # Errors
 ///
 /// Returns [`UsageError`] for the first invalid argument.
-pub fn parse_stat_args<I: IntoIterator<Item = String>>(
-    args: I,
-) -> Result<StatOptions, UsageError> {
+pub fn parse_stat_args<I: IntoIterator<Item = String>>(args: I) -> Result<StatOptions, UsageError> {
     let mut opts = StatOptions::default();
     let mut args = args.into_iter();
     let err = |m: String| UsageError(m);
@@ -109,8 +107,8 @@ pub fn run_stat(opts: &StatOptions) -> Result<String, Box<dyn std::error::Error>
             RecordedTrace::record(&b.source(Scale::new(opts.scale), opts.seed))
         }
         crate::Input::TraceFile(path) => {
-            let file = File::open(path)
-                .map_err(|e| UsageError(format!("cannot open {path}: {e}")))?;
+            let file =
+                File::open(path).map_err(|e| UsageError(format!("cannot open {path}: {e}")))?;
             trace_io::read_din(BufReader::new(file), path)?
         }
     };
@@ -128,7 +126,10 @@ pub fn run_stat(opts: &StatOptions) -> Result<String, Box<dyn std::error::Error>
     let mut out = String::new();
     out.push_str(&format!("trace: {} ({})\n\n", trace.name(), stats));
     let mut t = Table::new(["metric", "value"]);
-    t.row(["instruction refs".to_owned(), stats.instruction_refs.to_string()]);
+    t.row([
+        "instruction refs".to_owned(),
+        stats.instruction_refs.to_string(),
+    ]);
     t.row(["loads".to_owned(), stats.loads.to_string()]);
     t.row(["stores".to_owned(), stats.stores.to_string()]);
     t.row([
@@ -184,8 +185,17 @@ mod tests {
     #[test]
     fn defaults_and_options_parse() {
         assert_eq!(parse(&[]).unwrap(), StatOptions::default());
-        let o = parse(&["--workload", "liver", "--line", "32", "--scale", "1000", "--seed", "5"])
-            .unwrap();
+        let o = parse(&[
+            "--workload",
+            "liver",
+            "--line",
+            "32",
+            "--scale",
+            "1000",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
         assert_eq!(o.input, crate::Input::Workload(Benchmark::Liver));
         assert_eq!(o.line_size, 32);
         assert_eq!(o.scale, 1000);

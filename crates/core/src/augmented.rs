@@ -180,7 +180,9 @@ impl AccessOutcome {
     pub const fn is_removed_miss(&self) -> bool {
         matches!(
             self,
-            AccessOutcome::VictimHit | AccessOutcome::MissCacheHit | AccessOutcome::StreamHit { .. }
+            AccessOutcome::VictimHit
+                | AccessOutcome::MissCacheHit
+                | AccessOutcome::StreamHit { .. }
         )
     }
 
@@ -336,9 +338,7 @@ impl AugmentedCache {
         let aid = match cfg.aid {
             ConflictAid::None => Aid::None,
             ConflictAid::MissCache(n) => Aid::Miss(MissCache::new(n)),
-            ConflictAid::VictimCache(n) => {
-                Aid::Victim(VictimCache::with_policy(n, cfg.aid_policy))
-            }
+            ConflictAid::VictimCache(n) => Aid::Victim(VictimCache::with_policy(n, cfg.aid_policy)),
         };
         let stream = (cfg.stream_ways > 0).then(|| {
             if cfg.stride_detection > 0 {
@@ -696,9 +696,9 @@ mod tests {
         let mut c = AugmentedCache::new(cfg);
         c.access_line(l(10)); // miss; stream starts at 11
         c.access_line(l(266)); // conflicts with 10 (10+256): 10 → VC
-        // Now line 11: in stream? stream restarted at 267 by the second
-        // miss (LRU way — single way restarted). So build differently:
-        // use a fresh composite.
+                               // Now line 11: in stream? stream restarted at 267 by the second
+                               // miss (LRU way — single way restarted). So build differently:
+                               // use a fresh composite.
         let cfg = AugmentedConfig::new(geom())
             .victim_cache(4)
             .multi_way_stream_buffer(4, StreamBufferConfig::new(4));
@@ -707,9 +707,9 @@ mod tests {
         c.access_line(l(267)); // way B; also evicts nothing relevant
         c.access_line(l(11)); // stream hit: 11 enters L1 (set 11)
         c.access_line(l(11 + 256)); // evicts 11 → VC; way C streams 268..
-        // Line 12 is head of way A. Re-reference 11: VC holds it; stream
-        // head does not. Reference 12 after evicting it? Simpler: check
-        // stats consistency only.
+                                    // Line 12 is head of way A. Re-reference 11: VC holds it; stream
+                                    // head does not. Reference 12 after evicting it? Simpler: check
+                                    // stats consistency only.
         let s = c.stats();
         assert_eq!(
             s.accesses,

@@ -140,7 +140,10 @@ mod tests {
                 mc.insert(line);
             }
         }
-        assert_eq!(hits, 0, "LRU cycling of 3 lines through 2 entries never hits");
+        assert_eq!(
+            hits, 0,
+            "LRU cycling of 3 lines through 2 entries never hits"
+        );
     }
 
     #[test]

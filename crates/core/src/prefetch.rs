@@ -309,9 +309,9 @@ mod tests {
     fn demand_fetch_subsumes_inflight_prefetch() {
         let mut sim = PrefetchSimulator::new(geom(), PrefetchTechnique::OnMiss);
         sim.access_line(l(0), 0); // prefetches 1
-        // Evict line 1's frame? No — fill_demand when line 1 misses…
-        // Actually line 1 is resident (functional model). Force the
-        // "prefetched then demanded" path with Always and a strided ref:
+                                  // Evict line 1's frame? No — fill_demand when line 1 misses…
+                                  // Actually line 1 is resident (functional model). Force the
+                                  // "prefetched then demanded" path with Always and a strided ref:
         let mut sim2 = PrefetchSimulator::new(geom(), PrefetchTechnique::Always);
         sim2.access_line(l(0), 0); // prefetch 1
         sim2.access_line(l(1), 1); // hit; used

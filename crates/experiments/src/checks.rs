@@ -11,8 +11,8 @@ use jouppi_workloads::Benchmark;
 
 use crate::common::ExperimentConfig;
 use crate::{
-    conflict_sweep, ext_associativity, ext_penalty, ext_stride, fig_3_1, fig_4_1, fig_5_1,
-    overlap, stream_geometry, stream_sweep, tables, victim_geometry,
+    conflict_sweep, ext_associativity, ext_penalty, ext_stride, fig_3_1, fig_4_1, fig_5_1, overlap,
+    stream_geometry, stream_sweep, tables, victim_geometry,
 };
 
 /// One checked claim.
@@ -134,11 +134,7 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<ClaimResult> {
     );
 
     // Figure 3-7.
-    let f37 = victim_geometry::run(
-        cfg,
-        victim_geometry::GeometryAxis::LineSize,
-        &[16, 128],
-    );
+    let f37 = victim_geometry::run(cfg, victim_geometry::GeometryAxis::LineSize, &[16, 128]);
     claim(
         "Figure 3-7",
         "conflict share and victim-cache benefit grow with line size",
@@ -160,7 +156,10 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<ClaimResult> {
         "Figure 4-1",
         "prefetched lines are needed within a few instruction issues",
         soon > 0.5,
-        format!("{:.0}% of useful tagged prefetches needed within 6 issues", 100.0 * soon),
+        format!(
+            "{:.0}% of useful tagged prefetches needed within 6 issues",
+            100.0 * soon
+        ),
     );
 
     // Figures 4-3 / 4-5.
@@ -218,16 +217,15 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<ClaimResult> {
     );
 
     // Figure 4-7.
-    let f47 = stream_geometry::run(
-        cfg,
-        victim_geometry::GeometryAxis::LineSize,
-        &[8, 128],
-    );
+    let f47 = stream_geometry::run(cfg, victim_geometry::GeometryAxis::LineSize, &[8, 128]);
     claim(
         "Figure 4-7",
         "data-side stream-buffer benefit falls steeply with line size",
         f47.single_data[0] > f47.single_data[1] * 1.5,
-        format!("single D {:.0}% → {:.0}% from 8B→128B", f47.single_data[0], f47.single_data[1]),
+        format!(
+            "single D {:.0}% → {:.0}% from 8B→128B",
+            f47.single_data[0], f47.single_data[1]
+        ),
     );
 
     // §5 overlap.
@@ -252,7 +250,10 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<ClaimResult> {
             .is_some_and(|r| r.vc_hit_fraction < 0.15),
         format!(
             "linpack VC hits {:.1}% of misses",
-            100.0 * ov.row(Benchmark::Linpack).map(|r| r.vc_hit_fraction).unwrap_or(1.0)
+            100.0
+                * ov.row(Benchmark::Linpack)
+                    .map(|r| r.vc_hit_fraction)
+                    .unwrap_or(1.0)
         ),
     );
 
@@ -289,7 +290,10 @@ pub fn run_all(cfg: &ExperimentConfig) -> Vec<ClaimResult> {
         "§3 / ext-associativity",
         "a small victim cache recovers most of associativity's miss-rate benefit",
         assoc.gap_closed_by_vc4() > 0.5,
-        format!("VC(4) closes {:.0}% of the DM→2-way gap", 100.0 * assoc.gap_closed_by_vc4()),
+        format!(
+            "VC(4) closes {:.0}% of the DM→2-way gap",
+            100.0 * assoc.gap_closed_by_vc4()
+        ),
     );
     let penalty = ext_penalty::run(cfg);
     claim(

@@ -2,8 +2,10 @@
 
 use jouppi_cache::CacheGeometry;
 use jouppi_core::{AugmentedCache, AugmentedConfig, AugmentedStats};
-use jouppi_trace::{AccessKind, MemRef, RecordedTrace};
+use jouppi_trace::{AccessKind, MemRef, RecordedTrace, SideView};
 use jouppi_workloads::{Benchmark, Scale};
+
+use crate::sweep;
 
 /// Which first-level cache a reference stream feeds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -31,6 +33,14 @@ impl Side {
         match self {
             Side::Instruction => "L1 I-cache",
             Side::Data => "L1 D-cache",
+        }
+    }
+
+    /// This side's dense pre-partitioned view of a recorded trace.
+    pub fn view(self, trace: &RecordedTrace) -> &SideView {
+        match self {
+            Side::Instruction => trace.instr_side(),
+            Side::Data => trace.data_side(),
         }
     }
 }
@@ -64,18 +74,37 @@ impl ExperimentConfig {
     }
 }
 
+/// Records all six benchmark traces (in parallel when the sweep engine
+/// has more than one worker) with their side partitions materialized.
+///
+/// Generation is deterministic per benchmark (each is seeded
+/// independently), so the thread interleaving cannot affect the traces.
+pub fn record_traces(cfg: &ExperimentConfig) -> Vec<(Benchmark, RecordedTrace)> {
+    sweep::map_jobs(Benchmark::ALL.len(), |i| {
+        let b = Benchmark::ALL[i];
+        let trace = RecordedTrace::record(&b.source(cfg.scale, cfg.seed));
+        // Touch both side views so the partition cost is paid here, on the
+        // worker, instead of lazily inside the first simulation cell.
+        let _ = trace.instr_side();
+        let _ = trace.data_side();
+        (b, trace)
+    })
+}
+
 /// Records each benchmark's trace once and maps `f` over them.
 ///
 /// Recording amortizes generation across the many cache configurations an
-/// experiment sweeps.
+/// experiment sweeps; the recording itself is fanned over the sweep
+/// engine's workers. `f` runs sequentially in benchmark order (it may
+/// mutate captured state) — experiments whose cells should also run in
+/// parallel use [`record_traces`] + [`sweep::map_jobs`] directly.
 pub fn per_benchmark<T>(
     cfg: &ExperimentConfig,
     mut f: impl FnMut(Benchmark, &RecordedTrace) -> T,
 ) -> Vec<(Benchmark, T)> {
-    Benchmark::ALL
+    record_traces(cfg)
         .into_iter()
-        .map(|b| {
-            let trace = RecordedTrace::record(&b.source(cfg.scale, cfg.seed));
+        .map(|(b, trace)| {
             let out = f(b, &trace);
             (b, out)
         })
@@ -83,27 +112,41 @@ pub fn per_benchmark<T>(
 }
 
 /// Replays one side of a trace through an augmented cache organization.
+///
+/// Iterates the trace's dense side view — no per-reference kind branch —
+/// and feeds pre-derived line addresses straight to the cache when the
+/// configuration uses the baseline line size.
 pub fn run_side(trace: &RecordedTrace, side: Side, cfg: AugmentedConfig) -> AugmentedStats {
     let mut cache = AugmentedCache::new(cfg);
-    for r in trace.as_slice() {
-        if side.matches(r) {
-            cache.access(r.addr);
+    let view = side.view(trace);
+    if let Some(lines) = view.lines_for(cfg.geometry().line_size()) {
+        for &line in lines {
+            cache.access_line(line);
+        }
+    } else {
+        for &addr in view.addrs() {
+            cache.access(addr);
         }
     }
     *cache.stats()
 }
 
 /// Replays one side through a classified direct-mapped cache, returning
-/// `(misses, breakdown)`.
+/// `(misses, breakdown)`. Uses the same dense side views as [`run_side`].
 pub fn classify_side(
     trace: &RecordedTrace,
     side: Side,
     geom: CacheGeometry,
 ) -> (u64, jouppi_cache::MissBreakdown) {
     let mut cache = jouppi_cache::ClassifiedCache::new(geom);
-    for r in trace.as_slice() {
-        if side.matches(r) {
-            cache.access(r.addr);
+    let view = side.view(trace);
+    if let Some(lines) = view.lines_for(geom.line_size()) {
+        for &line in lines {
+            cache.access_line(line);
+        }
+    } else {
+        for &addr in view.addrs() {
+            cache.access(addr);
         }
     }
     (cache.stats().misses, cache.breakdown())
@@ -187,7 +230,11 @@ mod tests {
     fn run_side_only_sees_matching_refs() {
         let cfg = ExperimentConfig::with_scale(5_000);
         let trace = RecordedTrace::record(&Benchmark::Ccom.source(cfg.scale, cfg.seed));
-        let stats = run_side(&trace, Side::Instruction, AugmentedConfig::new(baseline_l1()));
+        let stats = run_side(
+            &trace,
+            Side::Instruction,
+            AugmentedConfig::new(baseline_l1()),
+        );
         assert_eq!(stats.accesses, trace.stats().instruction_refs);
     }
 }

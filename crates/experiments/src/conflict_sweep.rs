@@ -7,9 +7,10 @@ use jouppi_report::{Chart, Series, Table};
 use jouppi_workloads::Benchmark;
 
 use crate::common::{
-    average, baseline_l1, classify_side, pct_of_conflicts_removed, per_benchmark,
-    run_side, ExperimentConfig, Side,
+    average, baseline_l1, classify_side, pct_of_conflicts_removed, record_traces, run_side,
+    ExperimentConfig, Side,
 };
+use crate::sweep;
 
 /// Which §3 mechanism a sweep exercises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,32 +63,36 @@ pub struct ConflictSweep {
 }
 
 /// Runs the sweep for entry counts `1..=max_entries`.
+///
+/// Fans every (benchmark × side × entry-count) simulation over the sweep
+/// engine as an independent cell, after a first wave of classification
+/// cells computes the conflict-miss denominators.
 pub fn run(cfg: &ExperimentConfig, mechanism: Mechanism, max_entries: usize) -> ConflictSweep {
     let geom = baseline_l1();
-    let benchmarks = per_benchmark(cfg, |b, trace| {
-        let mut per_side: Vec<Vec<f64>> = Vec::new();
-        for side in Side::BOTH {
-            let (_, breakdown) = classify_side(trace, side, geom);
-            let conflicts = breakdown.conflict;
-            let curve = (1..=max_entries)
-                .map(|n| {
-                    let stats = run_side(trace, side, mechanism.config(n));
-                    pct_of_conflicts_removed(stats.removed_misses(), conflicts)
-                })
-                .collect();
-            per_side.push(curve);
-        }
-        let data = per_side.pop().expect("two sides");
-        let instr = per_side.pop().expect("two sides");
-        BenchSweep {
-            benchmark: b,
-            instr,
-            data,
-        }
-    })
-    .into_iter()
-    .map(|(_, s)| s)
-    .collect();
+    let traces = record_traces(cfg);
+    let sides = traces.len() * 2;
+    let conflicts = sweep::map_jobs(sides, |cell| {
+        let (_, trace) = &traces[cell / 2];
+        let (_, breakdown) = classify_side(trace, Side::BOTH[cell % 2], geom);
+        breakdown.conflict
+    });
+    let removed = sweep::map_jobs(sides * max_entries, |job| {
+        let cell = job / max_entries;
+        let entries = 1 + job % max_entries;
+        let (_, trace) = &traces[cell / 2];
+        let stats = run_side(trace, Side::BOTH[cell % 2], mechanism.config(entries));
+        pct_of_conflicts_removed(stats.removed_misses(), conflicts[cell])
+    });
+    let curve = |cell: usize| removed[cell * max_entries..(cell + 1) * max_entries].to_vec();
+    let benchmarks = traces
+        .iter()
+        .enumerate()
+        .map(|(i, (b, _))| BenchSweep {
+            benchmark: *b,
+            instr: curve(2 * i),
+            data: curve(2 * i + 1),
+        })
+        .collect();
     ConflictSweep {
         mechanism,
         entries: (1..=max_entries).collect(),

@@ -136,7 +136,13 @@ mod tests {
     #[test]
     fn render_all_concatenates_every_figure() {
         let all = render_all();
-        for fig in ["Figure 2-1", "Figure 3-2", "Figure 3-4", "Figure 4-2", "Figure 4-4"] {
+        for fig in [
+            "Figure 2-1",
+            "Figure 3-2",
+            "Figure 3-4",
+            "Figure 4-2",
+            "Figure 4-4",
+        ] {
             assert!(all.contains(fig), "missing {fig}");
         }
     }

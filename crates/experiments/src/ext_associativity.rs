@@ -68,9 +68,7 @@ pub fn run(cfg: &ExperimentConfig) -> ExtAssociativity {
 impl ExtAssociativity {
     /// Average miss rates `(direct, vc1, vc4, 2-way, 4-way)`.
     pub fn averages(&self) -> (f64, f64, f64, f64, f64) {
-        let pick = |f: fn(&AssocRow) -> f64| {
-            average(&self.rows.iter().map(f).collect::<Vec<_>>())
-        };
+        let pick = |f: fn(&AssocRow) -> f64| average(&self.rows.iter().map(f).collect::<Vec<_>>());
         (
             pick(|r| r.direct),
             pick(|r| r.vc1),
@@ -94,14 +92,7 @@ impl ExtAssociativity {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut t = Table::new([
-            "program",
-            "direct",
-            "+VC(1)",
-            "+VC(4)",
-            "2-way",
-            "4-way",
-        ]);
+        let mut t = Table::new(["program", "direct", "+VC(1)", "+VC(4)", "2-way", "4-way"]);
         for r in &self.rows {
             t.row([
                 r.benchmark.name().to_owned(),

@@ -35,10 +35,8 @@ pub fn run(cfg: &ExperimentConfig) -> ExtLatency {
         LATENCIES
             .iter()
             .map(|&lat| {
-                let aug = AugmentedConfig::new(geom).multi_way_stream_buffer(
-                    4,
-                    StreamBufferConfig::new(4).latency(lat),
-                );
+                let aug = AugmentedConfig::new(geom)
+                    .multi_way_stream_buffer(4, StreamBufferConfig::new(4).latency(lat));
                 let stats = run_side(trace, Side::Data, aug);
                 let removed = if stats.l1_misses() == 0 {
                     0.0
@@ -137,10 +135,8 @@ mod tests {
             if b != Benchmark::Linpack {
                 return None;
             }
-            let aug = AugmentedConfig::new(baseline_l1()).multi_way_stream_buffer(
-                4,
-                StreamBufferConfig::new(4).latency(24),
-            );
+            let aug = AugmentedConfig::new(baseline_l1())
+                .multi_way_stream_buffer(4, StreamBufferConfig::new(4).latency(24));
             let stats = run_side(trace, Side::Data, aug);
             Some(stats.stream_stall_ticks as f64 / stats.stream_hits.max(1) as f64)
         });
@@ -148,6 +144,9 @@ mod tests {
             .into_iter()
             .find_map(|(_, v)| v)
             .expect("linpack present");
-        assert!(stall < 24.0, "stall per hit {stall} should be < raw latency");
+        assert!(
+            stall < 24.0,
+            "stall per hit {stall} should be < raw latency"
+        );
     }
 }

@@ -156,10 +156,8 @@ mod tests {
 
     #[test]
     fn uneven_tails_are_flushed() {
-        let a = RecordedTrace::from_refs(
-            "a",
-            (0..5u64).map(|i| MemRef::load(Addr::new(i))).collect(),
-        );
+        let a =
+            RecordedTrace::from_refs("a", (0..5u64).map(|i| MemRef::load(Addr::new(i))).collect());
         let b = RecordedTrace::from_refs(
             "b",
             (0..23u64).map(|i| MemRef::load(Addr::new(i))).collect(),

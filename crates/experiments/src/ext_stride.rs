@@ -14,10 +14,8 @@
 
 use jouppi_core::{AugmentedConfig, StreamBufferConfig};
 use jouppi_report::Table;
-use jouppi_trace::{MemRef, RecordedTrace};
+use jouppi_trace::{MemRef, RecordedTrace, SmallRng};
 use jouppi_workloads::data::{DataPattern, GatherScatter, InterleavedSweep, StridedSweep};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::common::{baseline_l1, pct_of_misses_removed, run_side, ExperimentConfig, Side};
 
@@ -52,7 +50,7 @@ pub struct ExtStride {
 /// a large region, with `stride_bytes` between consecutive elements.
 fn stride_trace(cfg: &ExperimentConfig, stride_bytes: u64) -> RecordedTrace {
     let refs = cfg.scale.instructions / 2;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     // Region sized so the sweep wraps a few times regardless of stride.
     let region = (stride_bytes * 4096).max(1 << 20);
     let mut mix = InterleavedSweep::new(vec![0x1000_0000, 0x4000_0000], stride_bytes, region);
@@ -74,9 +72,11 @@ fn stride_trace(cfg: &ExperimentConfig, stride_bytes: u64) -> RecordedTrace {
 /// target loads over a 2MB table.
 fn gather_trace(cfg: &ExperimentConfig) -> RecordedTrace {
     let refs = cfg.scale.instructions / 2;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xabcd);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xabcd);
     let mut g = GatherScatter::new(0x1000_0000, 0x4000_0000, (2 << 20) / 8, 8);
-    let out = (0..refs).map(|_| MemRef::load(g.next_addr(&mut rng))).collect();
+    let out = (0..refs)
+        .map(|_| MemRef::load(g.next_addr(&mut rng)))
+        .collect();
     RecordedTrace::from_refs("gather", out)
 }
 
@@ -101,8 +101,7 @@ pub fn run(cfg: &ExperimentConfig) -> ExtStride {
             let sequential = run_side(
                 &trace,
                 Side::Data,
-                AugmentedConfig::new(geom)
-                    .multi_way_stream_buffer(4, StreamBufferConfig::new(4)),
+                AugmentedConfig::new(geom).multi_way_stream_buffer(4, StreamBufferConfig::new(4)),
             );
             let strided = run_side(
                 &trace,

@@ -65,12 +65,7 @@ pub fn run(cfg: &ExperimentConfig) -> ExtWriteBandwidth {
             (interval, average(&vals))
         })
         .collect();
-    let avg_store_interval = average(
-        &per_bench
-            .iter()
-            .map(|(_, (_, s))| *s)
-            .collect::<Vec<_>>(),
-    );
+    let avg_store_interval = average(&per_bench.iter().map(|(_, (_, s))| *s).collect::<Vec<_>>());
     ExtWriteBandwidth {
         points,
         avg_store_interval,

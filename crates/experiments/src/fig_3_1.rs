@@ -4,7 +4,8 @@ use jouppi_cache::MissBreakdown;
 use jouppi_report::{percent, Table};
 use jouppi_workloads::Benchmark;
 
-use crate::common::{average, baseline_l1, classify_side, per_benchmark, ExperimentConfig, Side};
+use crate::common::{average, baseline_l1, classify_side, record_traces, ExperimentConfig, Side};
+use crate::sweep;
 
 /// Per-benchmark conflict-miss fractions for 4KB I and D caches.
 #[derive(Clone, Debug, PartialEq)]
@@ -14,16 +15,23 @@ pub struct Fig31 {
 }
 
 /// Classifies every benchmark's baseline misses.
+///
+/// The 12 (benchmark × side) cells fan over the sweep engine; rows are
+/// assembled in benchmark order regardless of completion order.
 pub fn run(cfg: &ExperimentConfig) -> Fig31 {
     let geom = baseline_l1();
-    let rows = per_benchmark(cfg, |_, trace| {
-        let (_, i) = classify_side(trace, Side::Instruction, geom);
-        let (_, d) = classify_side(trace, Side::Data, geom);
-        (i, d)
-    })
-    .into_iter()
-    .map(|(b, (i, d))| (b, i, d))
-    .collect();
+    let traces = record_traces(cfg);
+    let cells = sweep::map_jobs(traces.len() * 2, |job| {
+        let (_, trace) = &traces[job / 2];
+        let side = Side::BOTH[job % 2];
+        let (_, breakdown) = classify_side(trace, side, geom);
+        breakdown
+    });
+    let rows = traces
+        .iter()
+        .enumerate()
+        .map(|(i, (b, _))| (*b, cells[2 * i], cells[2 * i + 1]))
+        .collect();
     Fig31 { rows }
 }
 
@@ -57,10 +65,7 @@ impl Fig31 {
     pub fn highest_data_conflict(&self) -> Benchmark {
         self.rows
             .iter()
-            .max_by(|a, b| {
-                a.2.conflict_fraction()
-                    .total_cmp(&b.2.conflict_fraction())
-            })
+            .max_by(|a, b| a.2.conflict_fraction().total_cmp(&b.2.conflict_fraction()))
             .expect("six benchmarks")
             .0
     }

@@ -3,10 +3,11 @@
 
 use jouppi_core::prefetch::{PrefetchSimulator, PrefetchTechnique};
 use jouppi_report::{Chart, Series, Table};
-use jouppi_trace::TraceSource;
+use jouppi_trace::RecordedTrace;
 use jouppi_workloads::Benchmark;
 
 use crate::common::{baseline_l1, ExperimentConfig};
+use crate::sweep;
 
 /// Maximum lead time plotted (instruction issues), as in the paper.
 pub const MAX_LEAD: u64 = 26;
@@ -21,26 +22,24 @@ pub struct Fig41 {
 }
 
 /// Runs `ccom`'s instruction stream through each prefetch technique.
+///
+/// The trace is recorded once; the three techniques replay its dense
+/// instruction-side view as independent sweep-engine cells.
 pub fn run(cfg: &ExperimentConfig) -> Fig41 {
-    let src = Benchmark::Ccom.source(cfg.scale, cfg.seed);
-    let curves = [
+    let trace = RecordedTrace::record(&Benchmark::Ccom.source(cfg.scale, cfg.seed));
+    let techniques = [
         PrefetchTechnique::OnMiss,
         PrefetchTechnique::Tagged,
         PrefetchTechnique::Always,
-    ]
-    .into_iter()
-    .map(|tech| {
+    ];
+    let curves = sweep::map_jobs(techniques.len(), |t| {
+        let tech = techniques[t];
         let mut sim = PrefetchSimulator::new(baseline_l1(), tech);
-        let mut instr_count = 0u64;
-        for r in src.refs() {
-            if r.kind.is_instr() {
-                instr_count += 1;
-                sim.access(r.addr, instr_count);
-            }
+        for (i, &addr) in trace.instr_side().addrs().iter().enumerate() {
+            sim.access(addr, i as u64 + 1);
         }
         (tech, sim.lead_time_cdf(MAX_LEAD))
-    })
-    .collect();
+    });
     Fig41 { curves }
 }
 

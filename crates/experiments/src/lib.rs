@@ -52,8 +52,8 @@
 
 pub mod checks;
 pub mod common;
-pub mod diagrams;
 pub mod conflict_sweep;
+pub mod diagrams;
 pub mod ext_associativity;
 pub mod ext_l2_victim;
 pub mod ext_latency;
@@ -72,6 +72,7 @@ pub mod fig_5_1;
 pub mod overlap;
 pub mod stream_geometry;
 pub mod stream_sweep;
+pub mod sweep;
 pub mod tables;
 pub mod victim_geometry;
 

@@ -62,11 +62,7 @@ impl Overlap {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut t = Table::new([
-            "program",
-            "VC hits / misses",
-            "VC∩SB overlap",
-        ]);
+        let mut t = Table::new(["program", "VC hits / misses", "VC∩SB overlap"]);
         for r in &self.rows {
             t.row([
                 r.benchmark.name().to_owned(),

@@ -6,8 +6,7 @@ use jouppi_core::{AugmentedConfig, StreamBufferConfig};
 use jouppi_report::{Chart, Series, Table};
 
 use crate::common::{
-    average, classify_side, pct_of_misses_removed, per_benchmark, run_side, ExperimentConfig,
-    Side,
+    average, classify_side, pct_of_misses_removed, per_benchmark, run_side, ExperimentConfig, Side,
 };
 use crate::victim_geometry::{axis_chart_coord, GeometryAxis};
 
@@ -91,13 +90,7 @@ impl StreamGeometrySweep {
             GeometryAxis::CacheSize => ("Figure 4-6", "cache size (KB)"),
             GeometryAxis::LineSize => ("Figure 4-7", "line size (B)"),
         };
-        let mut t = Table::new([
-            axis_name,
-            "1-way I",
-            "1-way D",
-            "4-way I",
-            "4-way D",
-        ]);
+        let mut t = Table::new([axis_name, "1-way I", "1-way D", "4-way I", "4-way D"]);
         for (p, &point) in self.points.iter().enumerate() {
             let label = match self.axis {
                 GeometryAxis::CacheSize => format!("{}", point / 1024),

@@ -6,9 +6,10 @@ use jouppi_report::{Chart, Series, Table};
 use jouppi_workloads::Benchmark;
 
 use crate::common::{
-    average, baseline_l1, classify_side, pct_of_misses_removed, per_benchmark, run_side,
+    average, baseline_l1, classify_side, pct_of_misses_removed, record_traces, run_side,
     ExperimentConfig, Side,
 };
+use crate::sweep;
 
 /// One benchmark's cumulative miss-removal curves.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,31 +45,35 @@ fn config(ways: usize, run: usize) -> AugmentedConfig {
 
 /// Runs the sweep for run lengths `0..=max_run` with `ways` parallel
 /// buffers.
+///
+/// Every (benchmark × side × run-length) simulation fans over the sweep
+/// engine as an independent cell; a first wave of classification cells
+/// computes the total-miss denominators.
 pub fn run(cfg: &ExperimentConfig, ways: usize, max_run: usize) -> StreamSweep {
     let geom = baseline_l1();
-    let benchmarks = per_benchmark(cfg, |b, trace| {
-        let mut per_side: Vec<Vec<f64>> = Vec::new();
-        for side in Side::BOTH {
-            let (misses, _) = classify_side(trace, side, geom);
-            let curve = (0..=max_run)
-                .map(|l| {
-                    let stats = run_side(trace, side, config(ways, l));
-                    pct_of_misses_removed(stats.removed_misses(), misses)
-                })
-                .collect();
-            per_side.push(curve);
-        }
-        let data = per_side.pop().expect("two sides");
-        let instr = per_side.pop().expect("two sides");
-        BenchStream {
-            benchmark: b,
-            instr,
-            data,
-        }
-    })
-    .into_iter()
-    .map(|(_, s)| s)
-    .collect();
+    let traces = record_traces(cfg);
+    let sides = traces.len() * 2;
+    let runs = max_run + 1;
+    let misses = sweep::map_jobs(sides, |cell| {
+        let (_, trace) = &traces[cell / 2];
+        classify_side(trace, Side::BOTH[cell % 2], geom).0
+    });
+    let removed = sweep::map_jobs(sides * runs, |job| {
+        let cell = job / runs;
+        let (_, trace) = &traces[cell / 2];
+        let stats = run_side(trace, Side::BOTH[cell % 2], config(ways, job % runs));
+        pct_of_misses_removed(stats.removed_misses(), misses[cell])
+    });
+    let curve = |cell: usize| removed[cell * runs..(cell + 1) * runs].to_vec();
+    let benchmarks = traces
+        .iter()
+        .enumerate()
+        .map(|(i, (b, _))| BenchStream {
+            benchmark: *b,
+            instr: curve(2 * i),
+            data: curve(2 * i + 1),
+        })
+        .collect();
     StreamSweep {
         ways,
         run_lengths: (0..=max_run).collect(),
@@ -147,14 +152,10 @@ impl StreamSweep {
                 })
                 .collect()
         };
-        let chart = Chart::new(
-            format!("{fig} (cumulative, avg of 6 benchmarks)"),
-            60,
-            16,
-        )
-        .y_range(0.0, 100.0)
-        .series(Series::new("L1 I-cache", 'I', to_points(true)))
-        .series(Series::new("L1 D-cache", 'D', to_points(false)));
+        let chart = Chart::new(format!("{fig} (cumulative, avg of 6 benchmarks)"), 60, 16)
+            .y_range(0.0, 100.0)
+            .series(Series::new("L1 I-cache", 'I', to_points(true)))
+            .series(Series::new("L1 D-cache", 'D', to_points(false)));
         format!(
             "{fig}\nat max run length {max}:\n{}\n{}",
             t.render(),
@@ -193,7 +194,10 @@ mod tests {
         // Instruction side barely changes (paper: "virtually unchanged").
         let si = single.avg_instr(8);
         let mi = multi.avg_instr(8);
-        assert!((si - mi).abs() < 12.0, "I-side shifted too much: {si} vs {mi}");
+        assert!(
+            (si - mi).abs() < 12.0,
+            "I-side shifted too much: {si} vs {mi}"
+        );
     }
 
     #[test]
@@ -201,7 +205,9 @@ mod tests {
         let cfg = ExperimentConfig::with_scale(60_000);
         let single = run(&cfg, 1, 8);
         let multi = run(&cfg, 4, 8);
-        let s = single.benchmark_curve(Benchmark::Liver, Side::Data).unwrap()[8];
+        let s = single
+            .benchmark_curve(Benchmark::Liver, Side::Data)
+            .unwrap()[8];
         let m = multi.benchmark_curve(Benchmark::Liver, Side::Data).unwrap()[8];
         // Paper: liver goes from 7% to 60% removal.
         assert!(m > s + 20.0, "liver: 4-way {m} vs single {s}");
@@ -212,7 +218,11 @@ mod tests {
         let cfg = ExperimentConfig::with_scale(30_000);
         let s = run(&cfg, 1, 4);
         for b in &s.benchmarks {
-            assert_eq!(b.instr[0], 0.0, "{}: run 0 must remove nothing", b.benchmark);
+            assert_eq!(
+                b.instr[0], 0.0,
+                "{}: run 0 must remove nothing",
+                b.benchmark
+            );
             assert_eq!(b.data[0], 0.0);
             for w in b.instr.windows(2) {
                 assert!(w[1] + 1.0 >= w[0], "non-monotone: {:?}", b.instr);

@@ -6,8 +6,8 @@ use jouppi_core::AugmentedConfig;
 use jouppi_report::{Chart, Series, Table};
 
 use crate::common::{
-    average, classify_side, pct_of_conflicts_removed, per_benchmark, run_side,
-    ExperimentConfig, Side,
+    average, classify_side, pct_of_conflicts_removed, per_benchmark, run_side, ExperimentConfig,
+    Side,
 };
 
 /// Which geometry dimension a sweep varies.
@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn axis_point_helpers() {
-        assert_eq!(cache_size_points(), vec![1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]);
+        assert_eq!(
+            cache_size_points(),
+            vec![1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
+        );
         assert_eq!(line_size_points(), vec![8, 16, 32, 64, 128, 256]);
         let cfg = ExperimentConfig::with_scale(10_000);
         let sweep = run(&cfg, GeometryAxis::CacheSize, &[4096]);

@@ -1,0 +1,56 @@
+//! The sweep engine must never change an experiment's output: a run with
+//! one worker and a run with several workers must produce bit-identical
+//! results (same structs, same floats), regardless of which worker
+//! computes which cell or in what order cells finish.
+
+use std::sync::Mutex;
+
+use jouppi_experiments::common::ExperimentConfig;
+use jouppi_experiments::{conflict_sweep, fig_3_1, fig_4_1, stream_sweep, sweep};
+
+/// Serializes tests that reprogram the engine's global thread count.
+static ENGINE: Mutex<()> = Mutex::new(());
+
+fn assert_parallel_matches_sequential<T: PartialEq + std::fmt::Debug>(run: impl Fn() -> T) {
+    let _guard = ENGINE.lock().unwrap_or_else(|e| e.into_inner());
+    sweep::set_thread_count(1);
+    let sequential = run();
+    sweep::set_thread_count(4);
+    let parallel = run();
+    sweep::set_thread_count(0);
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn fig_3_1_is_thread_count_invariant() {
+    let cfg = ExperimentConfig::with_scale(20_000);
+    assert_parallel_matches_sequential(|| fig_3_1::run(&cfg));
+}
+
+#[test]
+fn fig_4_1_is_thread_count_invariant() {
+    let cfg = ExperimentConfig::with_scale(20_000);
+    assert_parallel_matches_sequential(|| fig_4_1::run(&cfg));
+}
+
+#[test]
+fn victim_cache_sweep_is_thread_count_invariant() {
+    let cfg = ExperimentConfig::with_scale(15_000);
+    assert_parallel_matches_sequential(|| {
+        conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 3)
+    });
+}
+
+#[test]
+fn miss_cache_sweep_is_thread_count_invariant() {
+    let cfg = ExperimentConfig::with_scale(15_000);
+    assert_parallel_matches_sequential(|| {
+        conflict_sweep::run(&cfg, conflict_sweep::Mechanism::MissCache, 2)
+    });
+}
+
+#[test]
+fn stream_buffer_sweep_is_thread_count_invariant() {
+    let cfg = ExperimentConfig::with_scale(15_000);
+    assert_parallel_matches_sequential(|| stream_sweep::run(&cfg, 4, 4));
+}

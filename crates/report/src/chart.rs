@@ -200,10 +200,7 @@ mod tests {
     #[test]
     fn corners_land_in_corners() {
         let text = chart().render();
-        let plot_lines: Vec<&str> = text
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let plot_lines: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
         // Topmost plot row holds the (10,100) point at the right edge.
         assert!(plot_lines[0].ends_with('*'));
         // Bottom plot row holds (0,0) right after the axis.

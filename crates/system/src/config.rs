@@ -55,8 +55,7 @@ impl SystemConfig {
     /// direct-mapped L2, 24- and 320-instruction-time penalties.
     pub fn baseline() -> Self {
         let l1 = CacheGeometry::direct_mapped(4096, 16).expect("baseline L1 geometry is valid");
-        let l2 =
-            CacheGeometry::direct_mapped(1 << 20, 128).expect("baseline L2 geometry is valid");
+        let l2 = CacheGeometry::direct_mapped(1 << 20, 128).expect("baseline L2 geometry is valid");
         SystemConfig {
             i_cache: AugmentedConfig::new(l1),
             d_cache: AugmentedConfig::new(l1),

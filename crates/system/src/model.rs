@@ -63,7 +63,11 @@ impl SystemModel {
         if is_instr {
             self.time.ideal += 1;
         }
-        let l1 = if is_instr { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if is_instr {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         let outcome = l1.access(r.addr);
         match outcome {
             AccessOutcome::L1Hit => {}

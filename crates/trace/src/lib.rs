@@ -35,11 +35,13 @@ mod access;
 mod addr;
 mod footprint;
 pub mod io;
+mod rng;
 mod source;
 mod stats;
 
 pub use access::{AccessKind, MemRef};
 pub use addr::{Addr, LineAddr};
 pub use footprint::Footprint;
-pub use source::{RecordedTrace, TraceSource};
+pub use rng::{SampleRange, SmallRng};
+pub use source::{RecordedTrace, SideView, TraceSource, BASE_LINE_SIZE};
 pub use stats::TraceStats;

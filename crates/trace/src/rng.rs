@@ -1,0 +1,267 @@
+//! A small deterministic PRNG shared by the whole workspace.
+//!
+//! The build environment has no network access, so the workspace cannot
+//! depend on the `rand` crate; this module provides the only randomness
+//! the simulator needs. [`SmallRng`] is a xoshiro256++ generator seeded
+//! through SplitMix64 (the reference seeding procedure), giving
+//! high-quality 64-bit output from a single `u64` seed while staying a
+//! few lines of dependency-free code.
+//!
+//! It grew out of the private xorshift64* generator that the cache
+//! crate's `Random` replacement policy carried; that use case now shares
+//! this implementation.
+//!
+//! Determinism is load-bearing: every workload generator is seeded, and
+//! the parallel sweep engine relies on traces being reproducible
+//! regardless of thread interleaving.
+//!
+//! # Examples
+//!
+//! ```
+//! use jouppi_trace::SmallRng;
+//!
+//! let mut a = SmallRng::seed_from_u64(42);
+//! let mut b = SmallRng::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert!(a.gen_range(0..10u64) < 10);
+//! assert!((0.0..1.0).contains(&a.next_f64()));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// The API mirrors the subset of `rand::Rng` the workloads use
+/// ([`SmallRng::gen_range`], [`SmallRng::gen_bool`]), so the workload
+/// generators read the same as they would against `rand`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+/// One step of SplitMix64, used to expand a 64-bit seed into state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Any seed is valid (including 0): the state is expanded with
+    /// SplitMix64, which never produces the all-zero state xoshiro
+    /// cannot leave.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Produces the next 64 uniformly-distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// A uniform value in the given range.
+    ///
+    /// Integer ranges use a simple modulo reduction: the bias is below
+    /// 2⁻⁵⁰ for every range the simulator draws from (all far smaller
+    /// than 2¹⁴ wide) and keeps the generator branch-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform index in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "below(0) is an empty range");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A range that [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (width + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample!(u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert!(va.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = SmallRng::seed_from_u64(0);
+        assert_ne!(r.next_u64() | r.next_u64(), 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "got {frac}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn gen_bool_rejects_bad_probability() {
+        let mut r = SmallRng::seed_from_u64(0);
+        r.gen_bool(1.5);
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..10usize)] = true;
+            let v = r.gen_range(5..=7u32);
+            assert!((5..=7).contains(&v));
+            let w = r.gen_range(100..200u64);
+            assert!((100..200).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "0..10 should cover all values");
+    }
+
+    #[test]
+    fn float_range_scales() {
+        let mut r = SmallRng::seed_from_u64(6);
+        for _ in 0..1_000 {
+            let x = r.gen_range(2.0..10.0);
+            assert!((2.0..10.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let _ = r.gen_range(5..5u64);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SmallRng::seed_from_u64(8);
+        for _ in 0..1_000 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_real() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut counts = [0u32; 16];
+        for _ in 0..160_000 {
+            counts[(r.next_u64() % 16) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

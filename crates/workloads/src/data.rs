@@ -24,18 +24,15 @@
 //!   stack (high locality, few misses).
 //! * [`Mixture`] — a weighted blend of any of the above.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
-use jouppi_trace::Addr;
+use jouppi_trace::{Addr, SmallRng};
 
 /// A generator of data-reference addresses.
 ///
-/// Implementations are deterministic given the `StdRng` handed in (the
+/// Implementations are deterministic given the `SmallRng` handed in (the
 /// workload owns one seeded RNG shared by all its patterns).
 pub trait DataPattern {
     /// Produces the next data address.
-    fn next_addr(&mut self, rng: &mut StdRng) -> Addr;
+    fn next_addr(&mut self, rng: &mut SmallRng) -> Addr;
 }
 
 /// One stream sweeping a region with a fixed stride, wrapping at the end.
@@ -43,10 +40,10 @@ pub trait DataPattern {
 /// # Examples
 ///
 /// ```
+/// use jouppi_trace::SmallRng;
 /// use jouppi_workloads::data::{DataPattern, StridedSweep};
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = SmallRng::seed_from_u64(0);
 /// let mut s = StridedSweep::new(0x1000, 8, 32);
 /// let addrs: Vec<u64> = (0..5).map(|_| s.next_addr(&mut rng).get()).collect();
 /// assert_eq!(addrs, vec![0x1000, 0x1008, 0x1010, 0x1018, 0x1000]);
@@ -67,7 +64,10 @@ impl StridedSweep {
     ///
     /// Panics if `stride` or `region` is zero.
     pub fn new(base: u64, stride: u64, region: u64) -> Self {
-        assert!(stride > 0 && region > 0, "stride and region must be nonzero");
+        assert!(
+            stride > 0 && region > 0,
+            "stride and region must be nonzero"
+        );
         StridedSweep {
             base,
             stride,
@@ -78,7 +78,7 @@ impl StridedSweep {
 }
 
 impl DataPattern for StridedSweep {
-    fn next_addr(&mut self, _rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, _rng: &mut SmallRng) -> Addr {
         let addr = Addr::new(self.base + self.pos);
         self.pos = (self.pos + self.stride) % self.region;
         addr
@@ -105,7 +105,10 @@ impl InterleavedSweep {
     /// Panics if `bases` is empty or `stride`/`region` is zero.
     pub fn new(bases: Vec<u64>, stride: u64, region: u64) -> Self {
         assert!(!bases.is_empty(), "need at least one array");
-        assert!(stride > 0 && region > 0, "stride and region must be nonzero");
+        assert!(
+            stride > 0 && region > 0,
+            "stride and region must be nonzero"
+        );
         InterleavedSweep {
             bases,
             stride,
@@ -122,7 +125,7 @@ impl InterleavedSweep {
 }
 
 impl DataPattern for InterleavedSweep {
-    fn next_addr(&mut self, _rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, _rng: &mut SmallRng) -> Addr {
         let addr = Addr::new(self.bases[self.way] + self.pos);
         self.way += 1;
         if self.way == self.bases.len() {
@@ -183,7 +186,7 @@ impl Daxpy {
 }
 
 impl DataPattern for Daxpy {
-    fn next_addr(&mut self, _rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, _rng: &mut SmallRng) -> Addr {
         let addr = match self.phase {
             0 => self.col_addr(self.k, self.i), // load x[i]
             _ => self.col_addr(self.j, self.i), // load then store y[i]
@@ -280,7 +283,7 @@ impl StringCompare {
         }
     }
 
-    fn new_episode(&mut self, rng: &mut StdRng) {
+    fn new_episode(&mut self, rng: &mut SmallRng) {
         let len = rng.gen_range(self.min_len..=self.max_len);
         let max_start = self.region_len - len;
         let a_off = rng.gen_range(0..max_start) & !3; // word-align
@@ -302,7 +305,7 @@ impl StringCompare {
 }
 
 impl DataPattern for StringCompare {
-    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, rng: &mut SmallRng) -> Addr {
         if self.remaining == 0 {
             self.new_episode(rng);
         }
@@ -357,7 +360,7 @@ impl HotConflictSet {
 }
 
 impl DataPattern for HotConflictSet {
-    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, rng: &mut SmallRng) -> Addr {
         let addr = self.lines[self.idx] + (rng.gen_range(0..4u64)) * 4;
         self.used += 1;
         if self.used == self.dwell {
@@ -386,7 +389,7 @@ impl PointerChase {
     ///
     /// Panics if `count` is zero, exceeds `u32::MAX`, or `node_bytes` is
     /// zero.
-    pub fn new(base: u64, node_bytes: u64, count: usize, rng: &mut StdRng) -> Self {
+    pub fn new(base: u64, node_bytes: u64, count: usize, rng: &mut SmallRng) -> Self {
         assert!(count > 0 && count <= u32::MAX as usize, "bad node count");
         assert!(node_bytes > 0, "nodes must have nonzero size");
         // Sattolo's algorithm: a uniform random single cycle.
@@ -417,7 +420,7 @@ impl PointerChase {
 }
 
 impl DataPattern for PointerChase {
-    fn next_addr(&mut self, _rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, _rng: &mut SmallRng) -> Addr {
         let addr = self.base + u64::from(self.cur) * self.node_bytes;
         self.cur = self.next[self.cur as usize];
         Addr::new(addr)
@@ -457,7 +460,7 @@ impl TableLookup {
 }
 
 impl DataPattern for TableLookup {
-    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, rng: &mut SmallRng) -> Addr {
         let total = *self.cum.last().expect("nonempty table");
         let x: f64 = rng.gen_range(0.0..total);
         let rank = self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1);
@@ -497,9 +500,9 @@ impl StackFrames {
 }
 
 impl DataPattern for StackFrames {
-    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, rng: &mut SmallRng) -> Addr {
         // Random walk of the frame pointer, referencing within the frame.
-        let r: f64 = rng.gen();
+        let r: f64 = rng.next_f64();
         if r < 0.1 && self.sp + self.frame_bytes <= self.max_depth_bytes {
             self.sp += self.frame_bytes; // call
         } else if r < 0.2 && self.sp >= self.frame_bytes {
@@ -509,7 +512,6 @@ impl DataPattern for StackFrames {
         Addr::new(self.top - self.sp - off)
     }
 }
-
 
 /// A row-major walk over a column-major matrix: consecutive references
 /// jump a full column (`lda` elements), the canonical non-unit-stride
@@ -551,7 +553,7 @@ impl Transpose {
 }
 
 impl DataPattern for Transpose {
-    fn next_addr(&mut self, _rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, _rng: &mut SmallRng) -> Addr {
         let addr = self.base + self.j * self.lda_bytes + self.i * self.elem;
         self.j += 1;
         if self.j == self.n {
@@ -599,7 +601,7 @@ impl GatherScatter {
 }
 
 impl DataPattern for GatherScatter {
-    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, rng: &mut SmallRng) -> Addr {
         if self.phase {
             self.phase = false;
             let idx = rng.gen_range(0..self.targets);
@@ -630,10 +632,10 @@ impl DataPattern for GatherScatter {
 /// # Examples
 ///
 /// ```
+/// use jouppi_trace::SmallRng;
 /// use jouppi_workloads::data::{DataPattern, Mixture, StridedSweep, TableLookup};
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = SmallRng::seed_from_u64(3);
 /// let mut mix = Mixture::new()
 ///     .with_burst(3.0, 16, StridedSweep::new(0x10_000, 8, 1 << 16))
 ///     .with(1.0, TableLookup::new(0x90_000, 256, 16, 1.0));
@@ -711,7 +713,7 @@ impl Mixture {
 }
 
 impl DataPattern for Mixture {
-    fn next_addr(&mut self, rng: &mut StdRng) -> Addr {
+    fn next_addr(&mut self, rng: &mut SmallRng) -> Addr {
         assert!(!self.entries.is_empty(), "mixture has no patterns");
         let idx = match self.current {
             Some(idx) if self.remaining > 0 => idx,
@@ -743,10 +745,9 @@ impl std::fmt::Debug for Mixture {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(11)
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
     }
 
     #[test]
@@ -902,7 +903,6 @@ mod tests {
         }
     }
 
-
     #[test]
     fn transpose_strides_by_lda() {
         let mut r = rng();
@@ -938,7 +938,11 @@ mod tests {
                 targets.insert(a);
             }
         }
-        assert!(targets.len() > 500, "gathered {} distinct targets", targets.len());
+        assert!(
+            targets.len() > 500,
+            "gathered {} distinct targets",
+            targets.len()
+        );
     }
 
     #[test]

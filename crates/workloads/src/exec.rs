@@ -9,10 +9,7 @@
 //! a call-graph random walk with configurable fan-out skew, per-procedure
 //! inner loops, and sequential fetch within procedure bodies.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
-use jouppi_trace::Addr;
+use jouppi_trace::{Addr, SmallRng};
 
 /// Bytes per instruction (the paper's machines are 32-bit RISCs).
 pub const INSTR_BYTES: u64 = 4;
@@ -45,7 +42,10 @@ impl CodeLayout {
     ///
     /// Panics if `lengths` is empty or contains a zero.
     pub fn contiguous(code_base: u64, lengths: &[u32]) -> Self {
-        assert!(!lengths.is_empty(), "a program needs at least one procedure");
+        assert!(
+            !lengths.is_empty(),
+            "a program needs at least one procedure"
+        );
         let mut procs = Vec::with_capacity(lengths.len());
         let mut base = code_base;
         for &len in lengths {
@@ -80,7 +80,10 @@ impl CodeLayout {
 
     /// Total code footprint in bytes.
     pub fn footprint(&self) -> u64 {
-        self.procs.iter().map(|p| u64::from(p.len) * INSTR_BYTES).sum()
+        self.procs
+            .iter()
+            .map(|p| u64::from(p.len) * INSTR_BYTES)
+            .sum()
     }
 }
 
@@ -121,12 +124,12 @@ impl Default for ExecConfig {
 /// A single straight-line procedure fetches sequentially and wraps:
 ///
 /// ```
+/// use jouppi_trace::SmallRng;
 /// use jouppi_workloads::exec::{CodeLayout, ExecConfig, Executor, INSTR_BYTES};
-/// use rand::SeedableRng;
 ///
 /// let layout = CodeLayout::contiguous(0x10000, &[4]);
 /// let cfg = ExecConfig { call_prob: 0.0, ..ExecConfig::default() };
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = SmallRng::seed_from_u64(1);
 /// let mut exec = Executor::new(layout, cfg);
 /// let fetches: Vec<u64> = (0..5).map(|_| exec.next_fetch(&mut rng).get()).collect();
 /// assert_eq!(fetches, vec![0x10000, 0x10004, 0x10008, 0x1000c, 0x10000]);
@@ -189,7 +192,7 @@ impl Executor {
     }
 
     /// Produces the next instruction-fetch address and advances control.
-    pub fn next_fetch(&mut self, rng: &mut StdRng) -> Addr {
+    pub fn next_fetch(&mut self, rng: &mut SmallRng) -> Addr {
         let proc = self.layout.procs[self.cur.proc];
         let addr = proc.base + u64::from(self.cur.offset) * INSTR_BYTES;
 
@@ -216,7 +219,7 @@ impl Executor {
         addr
     }
 
-    fn return_or_restart(&mut self, rng: &mut StdRng) {
+    fn return_or_restart(&mut self, rng: &mut SmallRng) {
         match self.stack.pop() {
             Some(frame) => self.cur = frame,
             None => {
@@ -240,7 +243,7 @@ impl Executor {
         }
     }
 
-    fn pick_callee(&self, rng: &mut StdRng) -> usize {
+    fn pick_callee(&self, rng: &mut SmallRng) -> usize {
         let total = *self.cum_weights.last().expect("nonempty layout");
         let x: f64 = rng.gen_range(0.0..total);
         let rank = self
@@ -254,10 +257,9 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
     }
 
     #[test]
@@ -371,8 +373,8 @@ mod tests {
         };
         let mut a = make();
         let mut b = make();
-        let mut ra = StdRng::seed_from_u64(99);
-        let mut rb = StdRng::seed_from_u64(99);
+        let mut ra = SmallRng::seed_from_u64(99);
+        let mut rb = SmallRng::seed_from_u64(99);
         for _ in 0..10_000 {
             assert_eq!(a.next_fetch(&mut ra), b.next_fetch(&mut rb));
         }

@@ -1,9 +1,6 @@
 //! Combining an instruction engine and data patterns into a trace.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
-use jouppi_trace::MemRef;
+use jouppi_trace::{MemRef, SmallRng};
 
 use crate::data::DataPattern;
 use crate::exec::Executor;
@@ -43,7 +40,7 @@ impl Default for Scale {
 pub struct TraceGen {
     exec: Executor,
     data: Box<dyn DataPattern>,
-    rng: StdRng,
+    rng: SmallRng,
     data_per_instr: f64,
     store_frac: f64,
     remaining: u64,
@@ -64,7 +61,7 @@ impl TraceGen {
     pub fn new(
         exec: Executor,
         data: Box<dyn DataPattern>,
-        rng: StdRng,
+        rng: SmallRng,
         scale: Scale,
         data_per_instr: f64,
         store_frac: f64,
@@ -129,14 +126,13 @@ mod tests {
     use crate::data::StridedSweep;
     use crate::exec::{CodeLayout, ExecConfig};
     use jouppi_trace::{AccessKind, TraceStats};
-    use rand::SeedableRng;
 
     fn gen(scale: u64, dpi: f64, store: f64) -> TraceGen {
         let exec = Executor::new(CodeLayout::contiguous(0, &[64]), ExecConfig::default());
         TraceGen::new(
             exec,
             Box::new(StridedSweep::new(1 << 20, 8, 1 << 16)),
-            StdRng::seed_from_u64(5),
+            SmallRng::seed_from_u64(5),
             Scale::new(scale),
             dpi,
             store,

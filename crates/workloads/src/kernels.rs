@@ -17,8 +17,7 @@
 //! assert!(src.refs().count() >= 10_000);
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use jouppi_trace::SmallRng;
 
 use jouppi_trace::{MemRef, TraceSource};
 
@@ -82,8 +81,8 @@ impl Microkernel {
         }
     }
 
-    fn build(self, seed: u64) -> (Box<dyn DataPattern>, StdRng) {
-        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x1234_5677));
+    fn build(self, seed: u64) -> (Box<dyn DataPattern>, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x1234_5677));
         let pattern: Box<dyn DataPattern> = match self {
             Microkernel::StringCompareConflict => Box::new(StringCompare::new(
                 0x1000_0000,
@@ -94,12 +93,8 @@ impl Microkernel {
                 64,
                 256,
             )),
-            Microkernel::ThreeWayConflict => {
-                Box::new(HotConflictSet::new(0x1000_0100, 4096, 3, 2))
-            }
-            Microkernel::SequentialStream => {
-                Box::new(StridedSweep::new(0x1000_0000, 8, 8 << 20))
-            }
+            Microkernel::ThreeWayConflict => Box::new(HotConflictSet::new(0x1000_0100, 4096, 3, 2)),
+            Microkernel::SequentialStream => Box::new(StridedSweep::new(0x1000_0000, 8, 8 << 20)),
             Microkernel::InterleavedStreams => Box::new(InterleavedSweep::new(
                 vec![
                     0x1000_0000,
@@ -216,11 +211,7 @@ mod tests {
         );
         let strided = miss_rate(
             Microkernel::ColumnWalk,
-            AugmentedConfig::new(geom()).strided_stream_buffer(
-                4,
-                StreamBufferConfig::new(4),
-                128,
-            ),
+            AugmentedConfig::new(geom()).strided_stream_buffer(4, StreamBufferConfig::new(4), 128),
         );
         assert!(strided < seq * 0.3, "column-walk: {seq} → {strided}");
     }

@@ -83,10 +83,7 @@ fn numeric_codes_have_low_conflict_and_high_capacity_misses() {
 fn scaling_up_preserves_the_trace_prefix() {
     // A longer run of the same benchmark/seed must extend — not change —
     // the shorter trace; experiments at different scales stay comparable.
-    let short: Vec<_> = Benchmark::Grr
-        .source(Scale::new(2_000), 9)
-        .refs()
-        .collect();
+    let short: Vec<_> = Benchmark::Grr.source(Scale::new(2_000), 9).refs().collect();
     let long: Vec<_> = Benchmark::Grr
         .source(Scale::new(4_000), 9)
         .refs()
@@ -117,7 +114,10 @@ fn miss_rates_are_stable_across_seeds() {
             c.stats().miss_rate()
         };
         let rel = (r1 - r2).abs() / r1.max(r2);
-        assert!(rel < 0.25, "{b}: seed variance too high ({r1:.4} vs {r2:.4})");
+        assert!(
+            rel < 0.25,
+            "{b}: seed variance too high ({r1:.4} vs {r2:.4})"
+        );
     }
 }
 

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three organizations from the paper, §3-§4.
     let configs = [
         ("bare direct-mapped", AugmentedConfig::new(geom)),
-        ("+ 4-entry victim cache", AugmentedConfig::new(geom).victim_cache(4)),
+        (
+            "+ 4-entry victim cache",
+            AugmentedConfig::new(geom).victim_cache(4),
+        ),
         (
             "+ 4-way stream buffer",
             AugmentedConfig::new(geom).multi_way_stream_buffer(4, StreamBufferConfig::new(4)),
@@ -33,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Benchmark::Ccom.source(Scale::new(500_000), 42);
     println!("workload: {} ({} instructions)", workload.name(), 500_000);
     println!();
-    println!("{:<42} {:>10} {:>12}", "organization", "miss rate", "removed");
+    println!(
+        "{:<42} {:>10} {:>12}",
+        "organization", "miss rate", "removed"
+    );
     for (name, cfg) in configs {
         let mut cache = AugmentedCache::new(cfg);
         for r in workload.refs().filter(|r| r.kind.is_data()) {

@@ -32,11 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "stride-detecting 4-way stream buffer (extension)",
-            AugmentedConfig::new(geom).strided_stream_buffer(
-                4,
-                StreamBufferConfig::new(4),
-                128,
-            ),
+            AugmentedConfig::new(geom).strided_stream_buffer(4, StreamBufferConfig::new(4), 128),
         ),
     ];
 

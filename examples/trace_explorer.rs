@@ -11,8 +11,9 @@ use jouppi::workloads::{Benchmark, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "met".to_owned());
-    let bench = Benchmark::from_name(&name)
-        .ok_or_else(|| format!("unknown benchmark '{name}' (try ccom, grr, yacc, met, linpack, liver)"))?;
+    let bench = Benchmark::from_name(&name).ok_or_else(|| {
+        format!("unknown benchmark '{name}' (try ccom, grr, yacc, met, linpack, liver)")
+    })?;
 
     let src = bench.source(Scale::new(300_000), 42);
     // One pass gives the fully-associative LRU miss rate for EVERY size
@@ -42,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.row([
             format!("{}KB", size / 1024),
             format!("{:.4}", cache.stats().miss_rate()),
-            format!("{:.4}", profile.miss_rate_for_capacity((size / 16) as usize)),
+            format!(
+                "{:.4}",
+                profile.miss_rate_for_capacity((size / 16) as usize)
+            ),
             b.compulsory.to_string(),
             b.capacity.to_string(),
             b.conflict.to_string(),

@@ -109,8 +109,8 @@ fn stream_buffers_and_victim_caches_compose() {
             c.stats().removed_misses()
         };
         let vc_only = run(AugmentedConfig::new(geom).victim_cache(4));
-        let sb_only = run(AugmentedConfig::new(geom)
-            .multi_way_stream_buffer(4, StreamBufferConfig::new(4)));
+        let sb_only =
+            run(AugmentedConfig::new(geom).multi_way_stream_buffer(4, StreamBufferConfig::new(4)));
         let both = run(AugmentedConfig::new(geom)
             .victim_cache(4)
             .multi_way_stream_buffer(4, StreamBufferConfig::new(4)));

@@ -85,7 +85,11 @@ fn victim_caches_and_stream_buffers_are_orthogonal() {
     assert!(non_linpack_avg < 0.15, "avg overlap {non_linpack_avg}");
     // linpack benefits least from victim caching (~4% of misses).
     let linpack = o.row(Benchmark::Linpack).unwrap();
-    assert!(linpack.vc_hit_fraction < 0.15, "{}", linpack.vc_hit_fraction);
+    assert!(
+        linpack.vc_hit_fraction < 0.15,
+        "{}",
+        linpack.vc_hit_fraction
+    );
 }
 
 #[test]
@@ -95,7 +99,10 @@ fn combined_system_halves_the_miss_rate() {
     // two to three"; §5: 143% average performance improvement.
     let f = fig_5_1::run(&cfg());
     let ratio = f.avg_miss_rate_ratio();
-    assert!(ratio < 0.5, "avg miss-rate ratio {ratio} (paper: 1/2 .. 1/3)");
+    assert!(
+        ratio < 0.5,
+        "avg miss-rate ratio {ratio} (paper: 1/2 .. 1/3)"
+    );
     let improvement = f.avg_improvement_pct();
     assert!(
         (60.0..=300.0).contains(&improvement),

