@@ -13,7 +13,18 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
+echo "==> build examples and benchmark binaries"
+cargo build --release --examples
+cargo build --release -p jouppi-bench --bin loadgen --bin sweep-bench
+
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> serve integration tests"
+cargo test --release -q -p jouppi-serve --test integration
+
+echo "==> loadgen smoke run"
+./target/release/loadgen 120 4 /tmp/BENCH_serve_ci.json
+grep -q '"benchmark": "loadgen"' /tmp/BENCH_serve_ci.json
 
 echo "CI OK"

@@ -1,0 +1,245 @@
+//! Load generator for the `jouppi-serve` daemon.
+//!
+//! Boots an in-process server on an ephemeral loopback port, hammers it
+//! from several concurrent keep-alive connections with a realistic
+//! endpoint mix (`/healthz`, `POST /v1/simulate`, `/metrics`), then
+//! deliberately overflows the sweep queue to measure backpressure, and
+//! finally drains the daemon gracefully. Writes `BENCH_serve.json`.
+//!
+//! Usage: `loadgen [REQUESTS] [CONNECTIONS] [OUT_PATH]`
+//!
+//! * `REQUESTS` — total steady-state requests across all connections
+//!   (default 600).
+//! * `CONNECTIONS` — concurrent keep-alive client connections
+//!   (default 4).
+//! * `OUT_PATH` — where to write the JSON report (default
+//!   `BENCH_serve.json` in the current directory).
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use jouppi_bench::{round3, LatencySummary};
+use jouppi_serve::json::Json;
+use jouppi_serve::server::ServerConfig;
+use jouppi_serve::{Client, Server};
+
+/// Instructions per simulate request: small enough that a request is
+/// a few milliseconds, large enough to exercise the full replay path.
+const SIMULATE_SCALE: u64 = 20_000;
+
+/// Scale for the queue-overflow sweep jobs: big enough that jobs
+/// outlive the burst of submissions that must overflow the queue.
+const SWEEP_SCALE: u64 = 30_000;
+
+/// Workloads rotated through the simulate mix.
+const WORKLOADS: [&str; 3] = ["ccom", "met", "liver"];
+
+/// One timed request: endpoint label, latency, status.
+struct Sample {
+    endpoint: &'static str,
+    ms: f64,
+    status: u16,
+}
+
+fn timed(
+    client: &mut Client,
+    endpoint: &'static str,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> Sample {
+    let start = Instant::now();
+    let status = client
+        .request(method, path, body)
+        .map(|r| r.status)
+        .unwrap_or(0);
+    Sample {
+        endpoint,
+        ms: start.elapsed().as_secs_f64() * 1000.0,
+        status,
+    }
+}
+
+/// One connection's worth of the steady-state mix: mostly simulate,
+/// with healthz and metrics sprinkled in the way a probe/scraper would.
+fn drive_connection(addr: SocketAddr, requests: usize, worker: usize) -> Vec<Sample> {
+    let mut client = Client::connect(addr).expect("loadgen connect");
+    let mut samples = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let sample = match i % 10 {
+            0 => timed(&mut client, "healthz", "GET", "/healthz", None),
+            5 => timed(&mut client, "metrics", "GET", "/metrics", None),
+            _ => {
+                let body = Json::obj([
+                    (
+                        "workload",
+                        Json::str(WORKLOADS[(worker + i) % WORKLOADS.len()]),
+                    ),
+                    ("scale", Json::Int(SIMULATE_SCALE as i64)),
+                    ("seed", Json::Int((42 + worker) as i64)),
+                    ("victim", Json::Int(4)),
+                ]);
+                timed(&mut client, "simulate", "POST", "/v1/simulate", Some(&body))
+            }
+        };
+        samples.push(sample);
+    }
+    samples
+}
+
+/// Fires async sweep submissions faster than the workers can drain them
+/// and counts how many are accepted (202) versus shed (503).
+fn overflow_burst(addr: SocketAddr, submissions: usize) -> (u64, u64, bool) {
+    let mut client = Client::connect(addr).expect("overflow connect");
+    let body = Json::obj([
+        ("sweep", Json::str("fig_3_1")),
+        ("scale", Json::Int(SWEEP_SCALE as i64)),
+    ]);
+    let (mut accepted, mut shed, mut retry_after) = (0u64, 0u64, false);
+    for _ in 0..submissions {
+        let resp = client
+            .request("POST", "/v1/sweep", Some(&body))
+            .expect("overflow request");
+        match resp.status {
+            202 => accepted += 1,
+            503 => {
+                shed += 1;
+                retry_after |= resp.header("retry-after").is_some();
+            }
+            other => panic!("unexpected overflow status {other}"),
+        }
+    }
+    (accepted, shed, retry_after)
+}
+
+/// Pulls one counter out of the Prometheus exposition text.
+fn scrape_counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse::<f64>().ok())
+        })
+        .map(|v| v as u64)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let requests: usize = args
+        .next()
+        .map(|r| r.parse().expect("REQUESTS must be an integer"))
+        .unwrap_or(600);
+    let connections: usize = args
+        .next()
+        .map(|r| r.parse().expect("CONNECTIONS must be an integer"))
+        .unwrap_or(4)
+        .max(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(cfg.clone()).expect("loadgen server");
+    let addr = handle.addr();
+    eprintln!(
+        "loadgen: {requests} requests over {connections} connection(s) against http://{addr}"
+    );
+
+    // Steady-state phase.
+    let per_conn = requests.div_ceil(connections);
+    let start = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|w| scope.spawn(move || drive_connection(addr, per_conn, w)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    // Backpressure phase: overfill the 2-deep queue.
+    let submissions = 4 * (cfg.workers + cfg.queue_depth);
+    let (accepted, shed, retry_after) = overflow_burst(addr, submissions);
+
+    let metrics_text = Client::connect(addr)
+        .and_then(|mut c| c.request("GET", "/metrics", None))
+        .map(|r| r.text())
+        .unwrap_or_default();
+    let refs_simulated = scrape_counter(&metrics_text, "jouppi_refs_simulated_total");
+
+    let stats = handle.shutdown();
+
+    // Aggregate.
+    let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+    for s in &samples {
+        *statuses.entry(s.status).or_insert(0) += 1;
+    }
+    let mut latency = Vec::new();
+    for endpoint in ["healthz", "simulate", "metrics"] {
+        let subset: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.endpoint == endpoint)
+            .map(|s| s.ms)
+            .collect();
+        if let Some(summary) = LatencySummary::from_samples(endpoint, &subset) {
+            eprintln!(
+                "{:>9}: {:>5} reqs, p50 {:>7.3} ms, p99 {:>7.3} ms, max {:>7.3} ms",
+                summary.endpoint, summary.requests, summary.p50_ms, summary.p99_ms, summary.max_ms
+            );
+            latency.push(summary);
+        }
+    }
+    let total = samples.len();
+    let rps = if wall_ms > 0.0 {
+        total as f64 * 1000.0 / wall_ms
+    } else {
+        0.0
+    };
+    eprintln!(
+        "throughput: {rps:.0} req/s; overflow: {accepted} accepted, {shed} shed (503); \
+         {} job(s) drained at shutdown",
+        stats.jobs_completed
+    );
+
+    let report = Json::obj([
+        ("benchmark", Json::str("loadgen")),
+        ("connections", Json::Int(connections as i64)),
+        ("requests", Json::Int(total as i64)),
+        ("wall_ms", Json::Float(round3(wall_ms))),
+        ("requests_per_sec", Json::Float(rps.round())),
+        (
+            "latency",
+            Json::Arr(latency.iter().map(LatencySummary::json).collect()),
+        ),
+        (
+            "statuses",
+            Json::Obj(
+                statuses
+                    .iter()
+                    .map(|(code, n)| (code.to_string(), Json::Int(*n as i64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "overflow",
+            Json::obj([
+                ("submitted", Json::Int(submissions as i64)),
+                ("accepted_202", Json::Int(accepted as i64)),
+                ("rejected_503", Json::Int(shed as i64)),
+                ("retry_after_seen", Json::Bool(retry_after)),
+            ]),
+        ),
+        ("jobs_drained", Json::Int(stats.jobs_completed as i64)),
+        ("refs_simulated", Json::Int(refs_simulated as i64)),
+    ])
+    .encode_pretty();
+    std::fs::write(&out, &report).expect("failed to write the loadgen report");
+    eprintln!("wrote {out}");
+}

@@ -1,19 +1,25 @@
 //! Benchmark harness for the Jouppi (ISCA 1990) reproduction.
 //!
-//! The `sweep-bench` binary (`src/bin/sweep_bench.rs`) times whole
-//! experiment sweeps through the parallel sweep engine — once with the
-//! engine forced sequential and once at the configured worker count —
-//! and writes the measurements to `BENCH_sweep.json`. Everything is
-//! dependency-free: `std::time::Instant` for timing, hand-rolled JSON
-//! for output.
+//! Two binaries:
 //!
-//! This library hosts the measurement record and its JSON rendering so
-//! both can be unit-tested.
+//! * `sweep-bench` (`src/bin/sweep_bench.rs`) times whole experiment
+//!   sweeps through the parallel sweep engine — once with the engine
+//!   forced sequential and once at the configured worker count — and
+//!   writes the measurements to `BENCH_sweep.json`.
+//! * `loadgen` (`src/bin/loadgen.rs`) boots the `jouppi-serve` daemon on
+//!   a loopback port, hammers it from concurrent keep-alive connections,
+//!   and writes latency/throughput percentiles to `BENCH_serve.json`.
+//!
+//! Everything is dependency-free: `std::time::Instant` for timing and
+//! [`jouppi_serve::json`] (the shared hand-rolled JSON writer) for
+//! output. This library hosts the measurement records and their JSON
+//! rendering so both can be unit-tested.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use jouppi_experiments::common::ExperimentConfig;
+use jouppi_serve::json::Json;
 
 /// Trace scale used by the sweep benchmark: large enough that trace
 /// replay dominates thread-pool overhead, small enough to finish in
@@ -48,29 +54,93 @@ impl Measurement {
         }
     }
 
-    fn json(&self) -> String {
-        format!(
-            "    {{ \"sweep\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0} }}",
-            self.sweep,
-            self.mode,
-            self.threads,
-            self.refs,
-            self.wall_ms,
-            self.refs_per_sec()
-        )
+    /// This measurement as a JSON object.
+    pub fn json(&self) -> Json {
+        Json::obj([
+            ("sweep", Json::str(self.sweep)),
+            ("mode", Json::str(self.mode)),
+            ("threads", Json::Int(self.threads as i64)),
+            ("refs", Json::Int(self.refs as i64)),
+            ("wall_ms", Json::Float(round3(self.wall_ms))),
+            ("refs_per_sec", Json::Float(self.refs_per_sec().round())),
+        ])
     }
 }
 
-/// Renders the full benchmark report as pretty-printed JSON.
+/// Rounds to three decimal places (milliseconds with microsecond grain).
+pub fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Renders the full sweep-benchmark report as pretty-printed JSON.
 pub fn render_json(cores: usize, cfg: &ExperimentConfig, runs: &[Measurement]) -> String {
-    let rows: Vec<String> = runs.iter().map(Measurement::json).collect();
-    format!(
-        "{{\n  \"benchmark\": \"sweep-bench\",\n  \"cores\": {},\n  \"scale_instructions\": {},\n  \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
-        cores,
-        cfg.scale.instructions,
-        cfg.seed,
-        rows.join(",\n")
-    )
+    Json::obj([
+        ("benchmark", Json::str("sweep-bench")),
+        ("cores", Json::Int(cores as i64)),
+        (
+            "scale_instructions",
+            Json::Int(cfg.scale.instructions as i64),
+        ),
+        ("seed", Json::Int(cfg.seed as i64)),
+        (
+            "results",
+            Json::Arr(runs.iter().map(Measurement::json).collect()),
+        ),
+    ])
+    .encode_pretty()
+}
+
+/// Latency percentiles (milliseconds) over one endpoint's requests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Endpoint label (e.g. `"healthz"`).
+    pub endpoint: &'static str,
+    /// Requests measured.
+    pub requests: usize,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latency samples (milliseconds). Returns
+    /// `None` for an empty set.
+    pub fn from_samples(endpoint: &'static str, samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |p: f64| {
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        Some(LatencySummary {
+            endpoint,
+            requests: sorted.len(),
+            p50_ms: round3(pct(0.50)),
+            p90_ms: round3(pct(0.90)),
+            p99_ms: round3(pct(0.99)),
+            max_ms: round3(sorted[sorted.len() - 1]),
+        })
+    }
+
+    /// This summary as a JSON object.
+    pub fn json(&self) -> Json {
+        Json::obj([
+            ("endpoint", Json::str(self.endpoint)),
+            ("requests", Json::Int(self.requests as i64)),
+            ("p50_ms", Json::Float(self.p50_ms)),
+            ("p90_ms", Json::Float(self.p90_ms)),
+            ("p99_ms", Json::Float(self.p99_ms)),
+            ("max_ms", Json::Float(self.max_ms)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -98,17 +168,39 @@ mod tests {
     }
 
     #[test]
-    fn json_report_is_balanced_and_complete() {
+    fn json_report_is_parsable_and_complete() {
         let cfg = bench_config();
         let text = render_json(2, &cfg, &[sample(), sample()]);
+        let doc = Json::parse(&text).expect("report must be valid JSON");
+        assert_eq!(doc.get("cores").unwrap(), &Json::Int(2));
+        assert_eq!(doc.get("scale_instructions").unwrap(), &Json::Int(60_000));
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("sweep").unwrap(), &Json::str("fig_3_1"));
         assert_eq!(
-            text.matches('{').count(),
-            text.matches('}').count(),
-            "unbalanced braces:\n{text}"
+            results[0].get("refs_per_sec").unwrap(),
+            &Json::Float(4_000.0)
         );
-        assert!(text.contains("\"cores\": 2"));
-        assert!(text.contains("\"refs_per_sec\": 4000"));
-        assert!(text.contains("\"scale_instructions\": 60000"));
-        assert_eq!(text.matches("\"sweep\": \"fig_3_1\"").count(), 2);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencySummary::from_samples("healthz", &samples).unwrap();
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p90_ms, 90.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!(LatencySummary::from_samples("x", &[]).is_none());
+        let doc = s.json();
+        assert_eq!(doc.get("endpoint").unwrap(), &Json::str("healthz"));
+        assert_eq!(doc.get("p99_ms").unwrap(), &Json::Float(99.0));
+    }
+
+    #[test]
+    fn round3_truncates_microseconds() {
+        assert_eq!(round3(1.23456), 1.235);
+        assert_eq!(round3(0.0004), 0.0);
     }
 }

@@ -1,0 +1,61 @@
+//! `jouppi` — the umbrella command.
+//!
+//! ```text
+//! jouppi serve [OPTIONS]   run the simulation-as-a-service daemon
+//! jouppi sim [OPTIONS]     one-shot simulation (same flags as jouppi-sim)
+//! ```
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: jouppi <command> [OPTIONS]
+
+commands:
+  serve   run the HTTP simulation service (see 'jouppi serve --help')
+  sim     simulate one cache organization (see 'jouppi sim --help')";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("serve") => match jouppi_cli::serve_cmd::parse_serve_args(args) {
+            Ok(opts) => match jouppi_cli::serve_cmd::run_serve(&opts) {
+                Ok(report) => {
+                    println!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("sim") => match jouppi_cli::parse_args(args) {
+            Ok(opts) => match jouppi_cli::run(&opts) {
+                Ok(report) => {
+                    println!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--help" | "-h") | None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

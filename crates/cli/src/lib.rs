@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve_cmd;
 pub mod stat;
 
 use std::fmt;

@@ -1,5 +1,7 @@
 //! Shared experiment infrastructure.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use jouppi_cache::CacheGeometry;
 use jouppi_core::{AugmentedCache, AugmentedConfig, AugmentedStats};
 use jouppi_trace::{AccessKind, MemRef, RecordedTrace, SideView};
@@ -111,6 +113,25 @@ pub fn per_benchmark<T>(
         .collect()
 }
 
+/// Process-wide count of memory references replayed through cache
+/// models. Observability hook for `jouppi serve`'s `/metrics` endpoint;
+/// monotonically increasing, never reset.
+static REFS_SIMULATED: AtomicU64 = AtomicU64::new(0);
+
+/// Total memory references replayed through [`run_side`],
+/// [`classify_side`], and any caller of [`note_refs_simulated`] since
+/// process start.
+pub fn refs_simulated() -> u64 {
+    REFS_SIMULATED.load(Ordering::Relaxed)
+}
+
+/// Adds `n` replayed references to the process-wide counter. Simulation
+/// paths outside this module (e.g. the ad-hoc `/v1/simulate` endpoint)
+/// call this so `/metrics` sees all traffic.
+pub fn note_refs_simulated(n: u64) {
+    REFS_SIMULATED.fetch_add(n, Ordering::Relaxed);
+}
+
 /// Replays one side of a trace through an augmented cache organization.
 ///
 /// Iterates the trace's dense side view — no per-reference kind branch —
@@ -119,6 +140,7 @@ pub fn per_benchmark<T>(
 pub fn run_side(trace: &RecordedTrace, side: Side, cfg: AugmentedConfig) -> AugmentedStats {
     let mut cache = AugmentedCache::new(cfg);
     let view = side.view(trace);
+    note_refs_simulated(view.addrs().len() as u64);
     if let Some(lines) = view.lines_for(cfg.geometry().line_size()) {
         for &line in lines {
             cache.access_line(line);
@@ -140,6 +162,7 @@ pub fn classify_side(
 ) -> (u64, jouppi_cache::MissBreakdown) {
     let mut cache = jouppi_cache::ClassifiedCache::new(geom);
     let view = side.view(trace);
+    note_refs_simulated(view.addrs().len() as u64);
     if let Some(lines) = view.lines_for(geom.line_size()) {
         for &line in lines {
             cache.access_line(line);

@@ -23,12 +23,21 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
 /// Programmatic thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of sweep cells executed (observability hook for
+/// `jouppi serve`'s `/metrics`); monotonically increasing.
+static CELLS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Total jobs run through [`map_jobs`] since process start.
+pub fn cells_executed() -> u64 {
+    CELLS_EXECUTED.load(Ordering::Relaxed)
+}
 
 /// Overrides the worker count for all subsequent sweeps in this process,
 /// taking precedence over `JOUPPI_THREADS`. Pass 0 to clear the override.
@@ -77,6 +86,7 @@ pub fn available_cores() -> usize {
 ///
 /// Propagates a panic from any job.
 pub fn map_jobs<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    CELLS_EXECUTED.fetch_add(n as u64, Ordering::Relaxed);
     let workers = thread_count().min(n);
     if workers <= 1 {
         return (0..n).map(f).collect();

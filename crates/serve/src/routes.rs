@@ -1,0 +1,178 @@
+//! The request router: maps `(method, path)` to handlers.
+//!
+//! Every handler returns a [`Response`]; nothing here panics on bad
+//! input — malformed bodies, unknown sweeps, and bogus job ids all
+//! become 4xx documents. The returned endpoint label feeds the metrics
+//! registry.
+
+use jouppi_experiments::common::refs_simulated;
+use jouppi_experiments::sweep::cells_executed;
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::Sampled;
+use crate::queue::{JobState, QueueFull};
+use crate::server::Ctx;
+use crate::sim;
+use crate::sweeps::{self, DEFAULT_SWEEP_SCALE, NAMED_SWEEPS};
+
+/// Routes one request, returning the metrics endpoint label and the
+/// response to send.
+pub(crate) fn route(ctx: &Ctx, req: &Request) -> (&'static str, Response) {
+    match req.path() {
+        "/healthz" => ("healthz", expect_get(req, healthz(ctx))),
+        "/metrics" => ("metrics", expect_get(req, metrics(ctx))),
+        "/v1/simulate" => ("simulate", expect_post(req, |r| simulate(ctx, r))),
+        "/v1/sweep" => ("sweep", expect_post(req, |r| sweep(ctx, r))),
+        path if path.strip_prefix("/v1/jobs/").is_some() => {
+            let id = path.strip_prefix("/v1/jobs/").expect("guarded");
+            ("jobs", expect_get(req, job_status(ctx, id)))
+        }
+        _ => ("other", Response::error(404, "no such endpoint")),
+    }
+}
+
+fn expect_get(req: &Request, resp: Response) -> Response {
+    if req.method == "GET" {
+        resp
+    } else {
+        Response::error(405, "use GET").header("Allow", "GET")
+    }
+}
+
+fn expect_post(req: &Request, handler: impl FnOnce(&Request) -> Response) -> Response {
+    if req.method == "POST" {
+        handler(req)
+    } else {
+        Response::error(405, "use POST").header("Allow", "POST")
+    }
+}
+
+fn healthz(ctx: &Ctx) -> Response {
+    if ctx.is_shutting_down() {
+        Response::text(503, "draining\n")
+    } else {
+        Response::text(200, "ok\n")
+    }
+}
+
+fn metrics(ctx: &Ctx) -> Response {
+    let queue = ctx.queue.stats();
+    let sampled = Sampled {
+        queue_depth: queue.depth,
+        jobs_inflight: queue.running,
+        jobs_completed: queue.completed,
+        connections: ctx.open_connections(),
+        refs_simulated: refs_simulated(),
+        sweep_cells: cells_executed(),
+    };
+    let mut resp = Response::text(200, ctx.metrics.render(&sampled));
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| Response::error(400, format!("invalid JSON: {e}")))
+}
+
+fn simulate(_ctx: &Ctx, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(resp) => return resp,
+    };
+    match sim::simulate(&body) {
+        Ok(result) => Response::json(200, &result),
+        Err(msg) => Response::error(400, msg),
+    }
+}
+
+fn sweep(ctx: &Ctx, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(resp) => return resp,
+    };
+    let Some(name) = body.get("sweep").and_then(Json::as_str) else {
+        return Response::error(
+            400,
+            format!(
+                "'sweep' is required; known sweeps: {}",
+                NAMED_SWEEPS.join(", ")
+            ),
+        );
+    };
+    if !NAMED_SWEEPS.contains(&name) {
+        return Response::error(
+            400,
+            format!(
+                "unknown sweep '{name}'; known sweeps: {}",
+                NAMED_SWEEPS.join(", ")
+            ),
+        );
+    }
+    let scale = match sim::get_u64(&body, "scale", DEFAULT_SWEEP_SCALE) {
+        Ok(scale) => scale,
+        Err(msg) => return Response::error(400, msg),
+    };
+    let seed = match sim::get_u64(&body, "seed", 42) {
+        Ok(seed) => seed,
+        Err(msg) => return Response::error(400, msg),
+    };
+    let cfg = match sweeps::sweep_config(scale, seed) {
+        Ok(cfg) => cfg,
+        Err(msg) => return Response::error(400, msg),
+    };
+    let wait = body.get("wait").and_then(Json::as_bool).unwrap_or(false);
+
+    let job_name = name.to_owned();
+    let job = {
+        let job_name = job_name.clone();
+        Box::new(move || {
+            sweeps::run_named(&job_name, &cfg).ok_or_else(|| "sweep vanished".to_owned())
+        })
+    };
+    let id = match ctx.queue.submit(job_name.clone(), job) {
+        Ok(id) => id,
+        Err(QueueFull) => {
+            return Response::error(503, "job queue is full; retry later")
+                .header("Retry-After", "1");
+        }
+    };
+    if wait {
+        match ctx.queue.wait(id, ctx.cfg.job_wait_timeout) {
+            Some((_, JobState::Done(result))) => return Response::json(200, &result),
+            Some((_, JobState::Failed(msg))) => return Response::error(500, msg),
+            _ => {} // still running: fall through to the 202 ticket
+        }
+    }
+    Response::json(
+        202,
+        &Json::obj([
+            ("job", Json::Int(id as i64)),
+            ("sweep", Json::str(job_name)),
+            ("status", Json::str("queued")),
+            ("poll", Json::str(format!("/v1/jobs/{id}"))),
+        ]),
+    )
+}
+
+fn job_status(ctx: &Ctx, id_text: &str) -> Response {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, "job id must be an integer");
+    };
+    let Some((name, state)) = ctx.queue.status(id) else {
+        return Response::error(404, format!("no such job {id}"));
+    };
+    let mut doc = vec![
+        ("job".to_owned(), Json::Int(id as i64)),
+        ("sweep".to_owned(), Json::str(name)),
+        ("status".to_owned(), Json::str(state.label())),
+    ];
+    match state {
+        JobState::Done(result) => doc.push(("result".to_owned(), result)),
+        JobState::Failed(msg) => doc.push(("error".to_owned(), Json::str(msg))),
+        JobState::Queued | JobState::Running => {}
+    }
+    Response::json(200, &Json::Obj(doc))
+}

@@ -1,0 +1,207 @@
+//! Named paper sweeps for `POST /v1/sweep`.
+//!
+//! Each name maps to one of `jouppi_experiments`' figure sweeps, run at
+//! the requested scale/seed and encoded as a deterministic [`Json`]
+//! document. The encoding lives here — not in the HTTP layer — so the
+//! integration test can run the same sweep in-process and require the
+//! served bytes to match **bit-for-bit**.
+
+use jouppi_experiments::common::ExperimentConfig;
+use jouppi_experiments::{conflict_sweep, fig_3_1, stream_sweep};
+use jouppi_workloads::Scale;
+
+use crate::json::Json;
+
+/// The sweeps the service knows how to run.
+pub const NAMED_SWEEPS: [&str; 5] = [
+    "fig_3_1",
+    "miss_cache_4",
+    "victim_cache_4",
+    "stream_single_8",
+    "stream_four_8",
+];
+
+/// Hard cap on `scale` for a queued sweep.
+pub const MAX_SWEEP_SCALE: u64 = 2_000_000;
+
+/// Default `scale` when a sweep request omits it.
+pub const DEFAULT_SWEEP_SCALE: u64 = 60_000;
+
+/// Builds an [`ExperimentConfig`] from a sweep request's scale/seed.
+///
+/// # Errors
+///
+/// A validation message when `scale` is out of range.
+pub fn sweep_config(scale: u64, seed: u64) -> Result<ExperimentConfig, String> {
+    if scale == 0 || scale > MAX_SWEEP_SCALE {
+        return Err(format!("'scale' must be in 1..={MAX_SWEEP_SCALE}"));
+    }
+    Ok(ExperimentConfig {
+        scale: Scale::new(scale),
+        seed,
+    })
+}
+
+/// Runs the named sweep and encodes its result; `None` for an unknown
+/// name (the router 400s with the [`NAMED_SWEEPS`] catalog).
+pub fn run_named(name: &str, cfg: &ExperimentConfig) -> Option<Json> {
+    let body = match name {
+        "fig_3_1" => fig31_json(&fig_3_1::run(cfg)),
+        "miss_cache_4" => conflict_json(&conflict_sweep::run(
+            cfg,
+            conflict_sweep::Mechanism::MissCache,
+            4,
+        )),
+        "victim_cache_4" => conflict_json(&conflict_sweep::run(
+            cfg,
+            conflict_sweep::Mechanism::VictimCache,
+            4,
+        )),
+        "stream_single_8" => stream_json(&stream_sweep::run(cfg, 1, 8)),
+        "stream_four_8" => stream_json(&stream_sweep::run(cfg, 4, 8)),
+        _ => return None,
+    };
+    let mut doc = vec![
+        ("sweep".to_owned(), Json::str(name)),
+        ("scale".to_owned(), Json::Int(cfg.scale.instructions as i64)),
+        ("seed".to_owned(), Json::Int(cfg.seed as i64)),
+    ];
+    doc.extend(body);
+    Some(Json::Obj(doc))
+}
+
+fn breakdown_json(b: &jouppi_cache::MissBreakdown) -> Json {
+    Json::obj([
+        ("compulsory", Json::Int(b.compulsory as i64)),
+        ("capacity", Json::Int(b.capacity as i64)),
+        ("conflict", Json::Int(b.conflict as i64)),
+        ("conflict_pct", Json::Float(100.0 * b.conflict_fraction())),
+    ])
+}
+
+fn float_arr(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Float(v)).collect())
+}
+
+fn fig31_json(f: &fig_3_1::Fig31) -> Vec<(String, Json)> {
+    let rows = f
+        .rows
+        .iter()
+        .map(|(b, i, d)| {
+            Json::obj([
+                ("benchmark", Json::str(b.name())),
+                ("instr", breakdown_json(i)),
+                ("data", breakdown_json(d)),
+            ])
+        })
+        .collect();
+    vec![
+        ("rows".to_owned(), Json::Arr(rows)),
+        (
+            "avg_instr_conflict_pct".to_owned(),
+            Json::Float(100.0 * f.avg_instr_conflict_fraction()),
+        ),
+        (
+            "avg_data_conflict_pct".to_owned(),
+            Json::Float(100.0 * f.avg_data_conflict_fraction()),
+        ),
+    ]
+}
+
+fn conflict_json(s: &conflict_sweep::ConflictSweep) -> Vec<(String, Json)> {
+    let benchmarks = s
+        .benchmarks
+        .iter()
+        .map(|b| {
+            Json::obj([
+                ("benchmark", Json::str(b.benchmark.name())),
+                ("instr_pct_removed", float_arr(&b.instr)),
+                ("data_pct_removed", float_arr(&b.data)),
+            ])
+        })
+        .collect();
+    vec![
+        (
+            "mechanism".to_owned(),
+            Json::str(match s.mechanism {
+                conflict_sweep::Mechanism::MissCache => "miss_cache",
+                conflict_sweep::Mechanism::VictimCache => "victim_cache",
+            }),
+        ),
+        (
+            "entries".to_owned(),
+            Json::Arr(s.entries.iter().map(|&e| Json::Int(e as i64)).collect()),
+        ),
+        ("benchmarks".to_owned(), Json::Arr(benchmarks)),
+    ]
+}
+
+fn stream_json(s: &stream_sweep::StreamSweep) -> Vec<(String, Json)> {
+    let benchmarks = s
+        .benchmarks
+        .iter()
+        .map(|b| {
+            Json::obj([
+                ("benchmark", Json::str(b.benchmark.name())),
+                ("instr_pct_removed", float_arr(&b.instr)),
+                ("data_pct_removed", float_arr(&b.data)),
+            ])
+        })
+        .collect();
+    vec![
+        ("ways".to_owned(), Json::Int(s.ways as i64)),
+        (
+            "run_lengths".to_owned(),
+            Json::Arr(s.run_lengths.iter().map(|&r| Json::Int(r as i64)).collect()),
+        ),
+        ("benchmarks".to_owned(), Json::Arr(benchmarks)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_sweep_is_none() {
+        let cfg = sweep_config(10_000, 42).unwrap();
+        assert!(run_named("fig_9_9", &cfg).is_none());
+    }
+
+    #[test]
+    fn sweep_config_validates_scale() {
+        assert!(sweep_config(0, 42).is_err());
+        assert!(sweep_config(MAX_SWEEP_SCALE + 1, 42).is_err());
+        assert_eq!(
+            sweep_config(5_000, 7).unwrap(),
+            ExperimentConfig {
+                scale: Scale::new(5_000),
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn fig_3_1_encoding_is_deterministic_and_complete() {
+        let cfg = sweep_config(10_000, 42).unwrap();
+        let a = run_named("fig_3_1", &cfg).unwrap();
+        let b = run_named("fig_3_1", &cfg).unwrap();
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.get("sweep").unwrap(), &Json::str("fig_3_1"));
+        assert_eq!(a.get("rows").unwrap().as_arr().unwrap().len(), 6);
+        assert!(a.get("avg_data_conflict_pct").unwrap().as_f64().unwrap() > 0.0);
+        // The document survives a JSON round-trip.
+        assert_eq!(Json::parse(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn conflict_and_stream_sweeps_encode() {
+        let cfg = sweep_config(5_000, 42).unwrap();
+        let v = run_named("victim_cache_4", &cfg).unwrap();
+        assert_eq!(v.get("mechanism").unwrap(), &Json::str("victim_cache"));
+        assert_eq!(v.get("entries").unwrap().as_arr().unwrap().len(), 4);
+        let s = run_named("stream_single_8", &cfg).unwrap();
+        assert_eq!(s.get("ways").unwrap().as_i64(), Some(1));
+        assert_eq!(s.get("run_lengths").unwrap().as_arr().unwrap().len(), 9);
+    }
+}

@@ -1,0 +1,267 @@
+//! End-to-end tests: boot the daemon on an ephemeral port and drive it
+//! over real sockets — health, sweeps (sync and polled), bit-for-bit
+//! agreement with the in-process sweep, backpressure, malformed input,
+//! metrics, and draining shutdown.
+
+use std::time::Duration;
+
+use jouppi_experiments::common::ExperimentConfig;
+use jouppi_serve::http::Limits;
+use jouppi_serve::server::ServerConfig;
+use jouppi_serve::{sweeps, Client, Json, Server, ServerHandle};
+use jouppi_workloads::Scale;
+
+fn start(config: ServerConfig) -> ServerHandle {
+    Server::start(config).expect("bind ephemeral port")
+}
+
+fn client(handle: &ServerHandle) -> Client {
+    Client::connect(handle.addr()).expect("connect to server")
+}
+
+fn json(text: &str) -> Json {
+    Json::parse(text).expect("test fixture is valid JSON")
+}
+
+#[test]
+fn healthz_answers() {
+    let handle = start(ServerConfig::default());
+    let mut c = client(&handle);
+    let resp = c.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), "ok\n");
+    // Keep-alive: same connection answers again.
+    let resp = c.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn sweep_matches_in_process_run_bit_for_bit() {
+    let handle = start(ServerConfig::default());
+    let mut c = client(&handle);
+
+    // What the very same sweep produces when run in-process.
+    let cfg = ExperimentConfig {
+        scale: Scale::new(20_000),
+        seed: 42,
+    };
+    let mut expected = sweeps::run_named("fig_3_1", &cfg).unwrap().encode();
+    expected.push('\n');
+
+    // Synchronous path: "wait": true returns the result document.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/sweep",
+            Some(&json(r#"{"sweep":"fig_3_1","scale":20000,"wait":true}"#)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(
+        resp.text(),
+        expected,
+        "served sweep differs from in-process"
+    );
+
+    // Async path: 202 ticket, then poll /v1/jobs/<id> to the same result.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/sweep",
+            Some(&json(r#"{"sweep":"fig_3_1","scale":20000}"#)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let ticket = resp.json().unwrap();
+    assert_eq!(ticket.get("status").unwrap(), &Json::str("queued"));
+    let id = ticket.get("job").unwrap().as_i64().unwrap();
+    let poll = ticket.get("poll").unwrap().as_str().unwrap().to_owned();
+    assert_eq!(poll, format!("/v1/jobs/{id}"));
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let result = loop {
+        let resp = c.request("GET", &poll, None).unwrap();
+        assert_eq!(resp.status, 200);
+        let doc = resp.json().unwrap();
+        match doc.get("status").unwrap().as_str().unwrap() {
+            "done" => break doc.get("result").unwrap().clone(),
+            "failed" => panic!("job failed: {}", resp.text()),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "job never finished");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    };
+    let mut via_poll = result.encode();
+    via_poll.push('\n');
+    assert_eq!(via_poll, expected, "polled sweep differs from in-process");
+
+    // Metrics reflect the traffic.
+    let resp = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = resp.text();
+    assert!(
+        text.contains("jouppi_http_requests_total{endpoint=\"sweep\",status=\"200\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("jouppi_http_requests_total{endpoint=\"sweep\",status=\"202\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("jouppi_jobs_completed_total 2"), "{text}");
+    let refs_line = text
+        .lines()
+        .find(|l| l.starts_with("jouppi_refs_simulated_total"))
+        .expect("refs counter exported");
+    let refs: u64 = refs_line.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(refs > 0, "no references counted: {refs_line}");
+    assert!(
+        text.contains("jouppi_request_seconds_bucket{endpoint=\"sweep\",le=\"+Inf\"} 2"),
+        "{text}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn simulate_runs_synchronously() {
+    let handle = start(ServerConfig::default());
+    let mut c = client(&handle);
+    let resp = c
+        .request(
+            "POST",
+            "/v1/simulate",
+            Some(&json(
+                r#"{"workload":"met","scale":20000,"victim":4,"classify":true}"#,
+            )),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let doc = resp.json().unwrap();
+    assert!(doc.get("victim_hits").unwrap().as_i64().unwrap() > 0);
+    assert!(doc.get("classification").is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn queue_overflow_returns_503_with_retry_after() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = client(&handle);
+    let body = json(r#"{"sweep":"fig_3_1","scale":100000}"#);
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for _ in 0..8 {
+        let resp = c.request("POST", "/v1/sweep", Some(&body)).unwrap();
+        match resp.status {
+            202 => accepted += 1,
+            503 => {
+                rejected += 1;
+                assert_eq!(resp.header("retry-after"), Some("1"), "{:?}", resp.headers);
+            }
+            other => panic!("unexpected status {other}: {}", resp.text()),
+        }
+    }
+    assert!(accepted >= 1, "no sweep was ever accepted");
+    assert!(rejected >= 1, "queue never overflowed");
+    // Backpressure shows on /metrics too.
+    let text = c.request("GET", "/metrics", None).unwrap().text();
+    assert!(
+        text.contains("jouppi_http_requests_total{endpoint=\"sweep\",status=\"503\"}"),
+        "{text}"
+    );
+    let stats = handle.shutdown();
+    assert_eq!(stats.jobs_completed, accepted, "accepted jobs must drain");
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_a_crash() {
+    let handle = start(ServerConfig {
+        limits: Limits {
+            max_body_bytes: 1024,
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    let mut c = client(&handle);
+    let cases: Vec<(&str, &str, Option<Json>, u16)> = vec![
+        ("POST", "/v1/sweep", Some(Json::str("not an object")), 400),
+        (
+            "POST",
+            "/v1/sweep",
+            Some(json(r#"{"sweep":"fig_9_9"}"#)),
+            400,
+        ),
+        (
+            "POST",
+            "/v1/sweep",
+            Some(json(r#"{"sweep":"fig_3_1","scale":0}"#)),
+            400,
+        ),
+        (
+            "POST",
+            "/v1/simulate",
+            Some(json(r#"{"workload":"doom"}"#)),
+            400,
+        ),
+        ("GET", "/v1/simulate", None, 405),
+        ("POST", "/healthz", None, 405),
+        ("GET", "/v1/jobs/not-a-number", None, 400),
+        ("GET", "/v1/jobs/999999", None, 404),
+        ("GET", "/nope", None, 404),
+    ];
+    for (method, path, body, want) in cases {
+        let resp = c.request(method, path, body.as_ref()).unwrap();
+        assert_eq!(resp.status, want, "{method} {path}: {}", resp.text());
+    }
+
+    // Unparsable JSON body (valid HTTP framing).
+    let resp = c
+        .send_raw(b"POST /v1/sweep HTTP/1.1\r\nContent-Length: 9\r\n\r\n{not json")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+
+    // Oversized body: rejected, connection closed.
+    let mut big = client(&handle);
+    let resp = big
+        .send_raw(b"POST /v1/simulate HTTP/1.1\r\nContent-Length: 9999\r\n\r\n")
+        .unwrap();
+    assert_eq!(resp.status, 413);
+
+    // Garbage framing: 400, connection closed.
+    let mut garbage = client(&handle);
+    let resp = garbage.send_raw(b"TOTAL GARBAGE\r\n\r\n").unwrap();
+    assert_eq!(resp.status, 400);
+
+    // The server is still healthy after all of that.
+    let resp = c.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    let mut c = client(&handle);
+    for _ in 0..3 {
+        let resp = c
+            .request(
+                "POST",
+                "/v1/sweep",
+                Some(&json(r#"{"sweep":"fig_3_1","scale":50000}"#)),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 202);
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.jobs_completed, 3, "shutdown must drain accepted jobs");
+}
