@@ -23,6 +23,9 @@ cargo test -q
 echo "==> serve integration tests"
 cargo test --release -q -p jouppi-serve --test integration
 
+echo "==> sweep-bench smoke: fused vs per-cell schedules must agree"
+./target/release/sweep-bench --smoke
+
 echo "==> loadgen smoke run"
 ./target/release/loadgen 120 4 /tmp/BENCH_serve_ci.json
 grep -q '"benchmark": "loadgen"' /tmp/BENCH_serve_ci.json

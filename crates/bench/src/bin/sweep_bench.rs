@@ -1,14 +1,24 @@
-//! Times full experiment sweeps with the sweep engine forced sequential
-//! and again at the default worker count, then writes `BENCH_sweep.json`.
+//! Times full experiment sweeps under both sweep-engine schedules —
+//! `per_cell` (one task per configuration cell) and `fused` (one task
+//! per (benchmark, side) gang) — and writes `BENCH_sweep.json`.
 //!
-//! Usage: `sweep-bench [SCALE] [OUT_PATH]`
+//! Usage: `sweep-bench [--smoke] [SCALE] [OUT_PATH]`
 //!
+//! * `--smoke` — run both schedules at a small scale and exit nonzero
+//!   if their results diverge; no report is written.
 //! * `SCALE` — instructions per benchmark trace (default 60000).
 //! * `OUT_PATH` — where to write the JSON report (default
 //!   `BENCH_sweep.json` in the current directory).
 //!
-//! The default-mode worker count honors `JOUPPI_THREADS`.
+//! Traces are recorded once up front (the refs count needs them), so
+//! every timed run replays the memoized trace set — the numbers measure
+//! simulation throughput, not workload generation. Each sweep is timed
+//! per-cell at one thread, fused at one thread, and fused at two
+//! threads; `fig_3_1` is classification-only (its unit of work is
+//! already one (benchmark, side) cell), so its schedule is labeled
+//! `fused` and no per-cell row exists for it.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use jouppi_bench::{bench_config, render_json, Measurement};
@@ -18,31 +28,82 @@ use jouppi_workloads::Scale;
 
 fn time_sweep(
     name: &'static str,
-    force_sequential: bool,
+    mode: &'static str,
+    threads: usize,
     refs: u64,
     run: &dyn Fn(),
 ) -> Measurement {
-    sweep::set_thread_count(if force_sequential { 1 } else { 0 });
+    sweep::set_thread_count(threads);
     let threads = sweep::thread_count();
     let start = Instant::now();
     run();
     let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
     sweep::set_thread_count(0);
-    Measurement {
+    let m = Measurement {
         sweep: name,
-        mode: if force_sequential {
-            "forced_sequential"
-        } else {
-            "default"
-        },
+        mode,
         threads,
         refs,
         wall_ms,
+    };
+    eprintln!(
+        "{:>16} {:>9} ({} thread{}): {:>9.1} ms, {:>12.0} refs/s",
+        m.sweep,
+        m.mode,
+        m.threads,
+        if m.threads == 1 { "" } else { "s" },
+        m.wall_ms,
+        m.refs_per_sec()
+    );
+    m
+}
+
+/// `--smoke`: both schedules at small scale, fail loudly on divergence.
+fn smoke() -> ExitCode {
+    let cfg = ExperimentConfig::with_scale(8_000);
+    let mut failures = 0usize;
+    let mut check = |label: &str, ok: bool| {
+        eprintln!("{} {label}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+    check(
+        "miss_cache_4: fused == per_cell",
+        conflict_sweep::run(&cfg, conflict_sweep::Mechanism::MissCache, 4)
+            == conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::MissCache, 4),
+    );
+    check(
+        "victim_cache_4: fused == per_cell",
+        conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 4)
+            == conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::VictimCache, 4),
+    );
+    check(
+        "stream_single_8: fused == per_cell",
+        stream_sweep::run(&cfg, 1, 8) == stream_sweep::run_per_cell(&cfg, 1, 8),
+    );
+    check(
+        "stream_four_8: fused == per_cell",
+        stream_sweep::run(&cfg, 4, 8) == stream_sweep::run_per_cell(&cfg, 4, 8),
+    );
+    check(
+        "fig_3_1: stable across repeat runs",
+        fig_3_1::run(&cfg) == fig_3_1::run(&cfg),
+    );
+    if failures == 0 {
+        eprintln!("smoke: fused and per-cell schedules agree");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("smoke: {failures} divergence(s) between schedules");
+        ExitCode::FAILURE
     }
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--smoke") {
+        return smoke();
+    }
     let mut cfg = bench_config();
     if let Some(raw) = args.next() {
         let n: u64 = raw.parse().expect("SCALE must be an integer");
@@ -55,6 +116,7 @@ fn main() {
 
     // Every replay of a cache side touches each of that side's references
     // exactly once, so refs-per-sweep is (replays per side) × trace size.
+    // This also warms the memoized trace store for the timed runs.
     let total: u64 = record_traces(&cfg)
         .iter()
         .map(|(_, t)| t.len() as u64)
@@ -62,36 +124,40 @@ fn main() {
     let fig31 = || {
         fig_3_1::run(&cfg);
     };
-    let victim = || {
+    let victim_fused = || {
         conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 4);
     };
-    let stream = || {
+    let victim_per_cell = || {
+        conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::VictimCache, 4);
+    };
+    let stream_fused = || {
         stream_sweep::run(&cfg, 1, 8);
     };
-    let sweeps: [(&'static str, u64, &dyn Fn()); 3] = [
-        ("fig_3_1", total, &fig31),
-        ("victim_cache_4", 5 * total, &victim),
-        ("stream_single_8", 10 * total, &stream),
-    ];
+    let stream_per_cell = || {
+        stream_sweep::run_per_cell(&cfg, 1, 8);
+    };
 
-    let mut runs = Vec::new();
-    for (name, refs, run) in sweeps {
-        for force_sequential in [true, false] {
-            let m = time_sweep(name, force_sequential, refs, run);
-            eprintln!(
-                "{:>16} {:>17} ({} thread{}): {:>9.1} ms, {:>12.0} refs/s",
-                m.sweep,
-                m.mode,
-                m.threads,
-                if m.threads == 1 { "" } else { "s" },
-                m.wall_ms,
-                m.refs_per_sec()
-            );
-            runs.push(m);
-        }
-    }
+    // fig_3_1 has no per-cell schedule (see the module docs); the other
+    // sweeps get per-cell at one thread plus fused at one and two.
+    let runs = vec![
+        time_sweep("fig_3_1", "fused", 1, total, &fig31),
+        time_sweep("fig_3_1", "fused", 2, total, &fig31),
+        time_sweep("victim_cache_4", "per_cell", 1, 5 * total, &victim_per_cell),
+        time_sweep("victim_cache_4", "fused", 1, 5 * total, &victim_fused),
+        time_sweep("victim_cache_4", "fused", 2, 5 * total, &victim_fused),
+        time_sweep(
+            "stream_single_8",
+            "per_cell",
+            1,
+            10 * total,
+            &stream_per_cell,
+        ),
+        time_sweep("stream_single_8", "fused", 1, 10 * total, &stream_fused),
+        time_sweep("stream_single_8", "fused", 2, 10 * total, &stream_fused),
+    ];
 
     let report = render_json(sweep::available_cores(), &cfg, &runs);
     std::fs::write(&out, &report).expect("failed to write the benchmark report");
     eprintln!("wrote {out}");
+    ExitCode::SUCCESS
 }

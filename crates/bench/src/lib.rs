@@ -3,9 +3,11 @@
 //! Two binaries:
 //!
 //! * `sweep-bench` (`src/bin/sweep_bench.rs`) times whole experiment
-//!   sweeps through the parallel sweep engine — once with the engine
-//!   forced sequential and once at the configured worker count — and
-//!   writes the measurements to `BENCH_sweep.json`.
+//!   sweeps through the sweep engine under both schedules — `per_cell`
+//!   (one task per configuration cell) and `fused` (one gang task per
+//!   (benchmark, side)) — at one and two worker threads, and writes the
+//!   measurements to `BENCH_sweep.json`. Its `--smoke` flag instead
+//!   cross-checks that the two schedules produce identical results.
 //! * `loadgen` (`src/bin/loadgen.rs`) boots the `jouppi-serve` daemon on
 //!   a loopback port, hammers it from concurrent keep-alive connections,
 //!   and writes latency/throughput percentiles to `BENCH_serve.json`.
@@ -33,8 +35,9 @@ pub fn bench_config() -> ExperimentConfig {
 pub struct Measurement {
     /// Which sweep was timed (e.g. `"fig_3_1"`).
     pub sweep: &'static str,
-    /// How the worker count was chosen: `"forced_sequential"` or
-    /// `"default"` (all cores unless `JOUPPI_THREADS` caps it).
+    /// Which sweep-engine schedule ran: `"per_cell"` (one task per
+    /// configuration cell) or `"fused"` (one gang task per
+    /// (benchmark, side), configurations stepped together).
     pub mode: &'static str,
     /// Worker threads the sweep engine actually used.
     pub threads: usize,
@@ -150,7 +153,7 @@ mod tests {
     fn sample() -> Measurement {
         Measurement {
             sweep: "fig_3_1",
-            mode: "default",
+            mode: "fused",
             threads: 4,
             refs: 2_000,
             wall_ms: 500.0,

@@ -8,11 +8,10 @@
 //! capacity runs alongside the real cache, plus a seen-lines set for
 //! compulsory detection.
 
-use std::collections::HashSet;
-
 use jouppi_trace::{Addr, LineAddr};
 
-use crate::{AccessResult, Cache, CacheGeometry, CacheStats, LruSet, MissBreakdown};
+use crate::line_hash::FxHashMap;
+use crate::{AccessResult, Cache, CacheGeometry, CacheStats, MissBreakdown};
 
 /// The class of a single miss under the three-C model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -61,8 +60,7 @@ pub enum MissClass {
 /// ```
 #[derive(Clone, Debug)]
 pub struct MissClassifier {
-    shadow: LruSet,
-    seen: HashSet<LineAddr>,
+    shadow: ShadowLru,
     breakdown: MissBreakdown,
 }
 
@@ -71,8 +69,7 @@ impl MissClassifier {
     /// cache gets the same capacity in lines).
     pub fn new(geom: CacheGeometry) -> Self {
         MissClassifier {
-            shadow: LruSet::new(geom.num_lines() as usize),
-            seen: HashSet::new(),
+            shadow: ShadowLru::new(geom.num_lines() as usize),
             breakdown: MissBreakdown::new(),
         }
     }
@@ -84,20 +81,14 @@ impl MissClassifier {
     /// otherwise. Must be called for *every* reference, hits included, so
     /// the shadow cache sees the same stream.
     pub fn observe(&mut self, line: LineAddr, real_miss: bool) -> Option<MissClass> {
-        let first_touch = self.seen.insert(line);
-        let shadow_hit = self.shadow.touch(line);
-        if !shadow_hit {
-            self.shadow.insert(line);
-        }
+        let probe = self.shadow.access(line);
         if !real_miss {
             return None;
         }
-        let class = if first_touch {
-            MissClass::Compulsory
-        } else if !shadow_hit {
-            MissClass::Capacity
-        } else {
-            MissClass::Conflict
+        let class = match probe {
+            ShadowProbe::FirstTouch => MissClass::Compulsory,
+            ShadowProbe::SeenButEvicted => MissClass::Capacity,
+            ShadowProbe::Resident => MissClass::Conflict,
         };
         match class {
             MissClass::Compulsory => self.breakdown.compulsory += 1,
@@ -115,7 +106,142 @@ impl MissClassifier {
     /// Number of distinct lines observed so far (equals the compulsory miss
     /// count of any demand-fetch cache over the same stream).
     pub fn distinct_lines(&self) -> usize {
-        self.seen.len()
+        self.shadow.distinct_lines()
+    }
+}
+
+/// What the shadow cache knew about a line before the access updated it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShadowProbe {
+    /// Never referenced before → compulsory if the real cache missed.
+    FirstTouch,
+    /// Referenced before but since evicted from the fully-associative
+    /// shadow → capacity if the real cache missed.
+    SeenButEvicted,
+    /// Resident in the shadow → conflict if the real cache missed.
+    Resident,
+}
+
+/// Sentinel map value marking a line that was seen but is no longer
+/// resident in the shadow cache.
+const EVICTED: u32 = u32::MAX;
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct ShadowNode {
+    line: LineAddr,
+    prev: u32,
+    next: u32,
+}
+
+/// The classifier's shadow state: a fully-associative LRU cache *and* the
+/// first-touch set, folded into a single hash map so the per-reference hot
+/// path costs exactly one map probe (the classic three-C loop needs both
+/// facts for every reference — keeping them in separate structures, as a
+/// generic [`crate::LruSet`] plus a seen-set would, doubles the hashing).
+///
+/// Map value: slot index while resident, [`EVICTED`] once evicted. Entries
+/// are never removed, so `map.len()` is the distinct-line count.
+#[derive(Clone, Debug)]
+struct ShadowLru {
+    map: FxHashMap<LineAddr, u32>,
+    slots: Vec<ShadowNode>,
+    head: u32,
+    tail: u32,
+    resident: usize,
+    capacity: usize,
+}
+
+impl ShadowLru {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shadow capacity must be nonzero");
+        assert!(
+            capacity < EVICTED as usize,
+            "shadow capacity exceeds slot index range"
+        );
+        ShadowLru {
+            map: FxHashMap::default(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            resident: 0,
+            capacity,
+        }
+    }
+
+    fn distinct_lines(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Accesses `line`: reports its prior state and leaves it resident MRU
+    /// (evicting the LRU line to make room if needed).
+    fn access(&mut self, line: LineAddr) -> ShadowProbe {
+        let prior = match self.map.get(&line).copied() {
+            Some(slot) if slot != EVICTED => {
+                // Hot path (shadow hit): one hash probe, list relink.
+                self.unlink(slot);
+                self.push_front(slot);
+                return ShadowProbe::Resident;
+            }
+            Some(_) => ShadowProbe::SeenButEvicted,
+            None => ShadowProbe::FirstTouch,
+        };
+        let idx = self.make_room();
+        self.slots[idx as usize] = ShadowNode {
+            line,
+            prev: NIL,
+            next: NIL,
+        };
+        self.map.insert(line, idx);
+        self.push_front(idx);
+        self.resident += 1;
+        prior
+    }
+
+    /// Frees (or allocates) a slot for an incoming line, evicting the LRU
+    /// resident if the shadow is at capacity. Evicted slots are reused
+    /// immediately, so no free list is needed.
+    fn make_room(&mut self) -> u32 {
+        if self.resident == self.capacity {
+            let lru = self.tail;
+            let victim = self.slots[lru as usize].line;
+            self.unlink(lru);
+            *self.map.get_mut(&victim).expect("resident line is mapped") = EVICTED;
+            self.resident -= 1;
+            return lru;
+        }
+        self.slots.push(ShadowNode {
+            line: LineAddr::new(0),
+            prev: NIL,
+            next: NIL,
+        });
+        (self.slots.len() - 1) as u32
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let ShadowNode { prev, next, .. } = self.slots[idx as usize];
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.slots[idx as usize].prev = NIL;
+        self.slots[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
     }
 }
 

@@ -39,6 +39,7 @@
 
 mod classify;
 mod geometry;
+mod line_hash;
 mod lru;
 mod replacement;
 mod set_assoc;
@@ -47,7 +48,8 @@ mod stats;
 
 pub use classify::{ClassifiedCache, MissClass, MissClassifier};
 pub use geometry::{CacheGeometry, GeometryError};
-pub use lru::{LruSet, TouchOutcome};
+pub use line_hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use lru::{LruSet, TouchOutcome, SMALL_CAPACITY_MAX};
 pub use replacement::ReplacementPolicy;
 pub use set_assoc::{AccessResult, Cache};
 pub use stack_distance::StackDistanceProfile;

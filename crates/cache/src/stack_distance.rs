@@ -12,9 +12,9 @@
 //! The implementation is the standard O(n log n) Fenwick-tree algorithm
 //! over access timestamps.
 
-use std::collections::HashMap;
-
 use jouppi_trace::LineAddr;
+
+use crate::line_hash::FxHashMap;
 
 /// A Fenwick (binary indexed) tree over timestamps, counting 0/1 marks.
 ///
@@ -105,7 +105,7 @@ pub struct StackDistanceProfile {
     hist: Vec<u64>,
     cold: u64,
     total: u64,
-    last_access: HashMap<LineAddr, usize>,
+    last_access: FxHashMap<LineAddr, usize>,
     marks: Fenwick,
     now: usize,
 }

@@ -1,0 +1,199 @@
+//! Fused one-pass gang simulation of many cache organizations.
+//!
+//! The paper's figures are sweeps: one recorded trace replayed against
+//! many [`AugmentedCache`] configurations. Replaying per configuration
+//! streams the (megabytes-long) trace through the memory hierarchy once
+//! per cell; a [`Gang`] instead steps every member organization on each
+//! reference, so one pass over the trace drives the whole sweep row and
+//! the trace stays hot in the data cache of the *host*.
+//!
+//! Members never interact — each owns its L1, conflict aid, and stream
+//! buffers, exactly as if simulated alone — so interleaving their steps
+//! is **bit-identical** to separate passes (pinned by the
+//! `fused_per_cell_equivalence` integration test in
+//! `jouppi-experiments`).
+//!
+//! # Examples
+//!
+//! ```
+//! use jouppi_cache::CacheGeometry;
+//! use jouppi_core::{AugmentedCache, AugmentedConfig, Gang};
+//! use jouppi_trace::Addr;
+//!
+//! # fn main() -> Result<(), jouppi_cache::GeometryError> {
+//! let geom = CacheGeometry::direct_mapped(4096, 16)?;
+//! let cfgs: Vec<AugmentedConfig> = (1..=4)
+//!     .map(|n| AugmentedConfig::new(geom).victim_cache(n))
+//!     .collect();
+//! let mut gang = Gang::new(&cfgs);
+//! let mut solo = AugmentedCache::new(cfgs[0]);
+//! for addr in [0x0u64, 0x1000, 0x0, 0x1000] {
+//!     gang.step_addr(Addr::new(addr));
+//!     solo.access(Addr::new(addr));
+//! }
+//! assert_eq!(gang.stats()[0], *solo.stats());
+//! # Ok(())
+//! # }
+//! ```
+
+use jouppi_trace::{Addr, LineAddr, MemRef};
+
+use crate::{AugmentedCache, AugmentedConfig, AugmentedStats};
+
+/// A gang of independent [`AugmentedCache`] organizations stepped in
+/// lockstep over a single trace pass.
+pub struct Gang {
+    members: Vec<AugmentedCache>,
+    uniform_line_size: Option<u64>,
+}
+
+impl Gang {
+    /// Builds one member per configuration, in order.
+    pub fn new(cfgs: &[AugmentedConfig]) -> Self {
+        let members: Vec<AugmentedCache> = cfgs.iter().map(|&c| AugmentedCache::new(c)).collect();
+        let uniform_line_size = members.split_first().and_then(|(first, rest)| {
+            let size = first.config().geometry().line_size();
+            rest.iter()
+                .all(|m| m.config().geometry().line_size() == size)
+                .then_some(size)
+        });
+        Gang {
+            members,
+            uniform_line_size,
+        }
+    }
+
+    /// Number of member organizations.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the gang has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members' common line size, if they all agree.
+    ///
+    /// When uniform, callers can derive each reference's line address once
+    /// and drive the gang through [`Gang::step_line`]; mixed-line-size
+    /// gangs must go through [`Gang::step_addr`].
+    pub fn uniform_line_size(&self) -> Option<u64> {
+        self.uniform_line_size
+    }
+
+    /// Feeds one memory reference to every member.
+    pub fn step(&mut self, r: &MemRef) {
+        self.step_addr(r.addr);
+    }
+
+    /// Feeds one byte address to every member (each derives its own line).
+    pub fn step_addr(&mut self, addr: Addr) {
+        for m in &mut self.members {
+            m.access(addr);
+        }
+    }
+
+    /// Feeds one pre-derived line address to every member.
+    ///
+    /// Only valid when [`Gang::uniform_line_size`] is `Some` and `line`
+    /// was derived with that size (debug-asserted).
+    pub fn step_line(&mut self, line: LineAddr) {
+        debug_assert!(
+            self.uniform_line_size.is_some(),
+            "step_line requires a uniform member line size"
+        );
+        for m in &mut self.members {
+            m.access_line(line);
+        }
+    }
+
+    /// Per-member statistics, in configuration order.
+    pub fn stats(&self) -> Vec<AugmentedStats> {
+        self.members.iter().map(|m| *m.stats()).collect()
+    }
+
+    /// Consumes the gang, returning per-member statistics.
+    pub fn into_stats(self) -> Vec<AugmentedStats> {
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jouppi_cache::CacheGeometry;
+    use jouppi_trace::SmallRng;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::direct_mapped(1024, 16).unwrap()
+    }
+
+    fn mixed_configs() -> Vec<AugmentedConfig> {
+        let base = AugmentedConfig::new(geom());
+        vec![
+            base,
+            base.miss_cache(2),
+            base.victim_cache(4),
+            base.multi_way_stream_buffer(4, crate::StreamBufferConfig::new(4)),
+        ]
+    }
+
+    #[test]
+    fn gang_matches_separate_passes_on_random_stream() {
+        let cfgs = mixed_configs();
+        let mut gang = Gang::new(&cfgs);
+        let mut solos: Vec<AugmentedCache> = cfgs.iter().map(|&c| AugmentedCache::new(c)).collect();
+        let mut rng = SmallRng::seed_from_u64(0xfeed);
+        for _ in 0..20_000 {
+            let addr = Addr::new(rng.below(1 << 14) as u64);
+            gang.step_addr(addr);
+            for s in &mut solos {
+                s.access(addr);
+            }
+        }
+        for (g, s) in gang.stats().iter().zip(&solos) {
+            assert_eq!(g, s.stats());
+        }
+    }
+
+    #[test]
+    fn step_line_matches_step_addr_for_uniform_gangs() {
+        let cfgs = mixed_configs();
+        let mut by_line = Gang::new(&cfgs);
+        let mut by_addr = Gang::new(&cfgs);
+        let size = by_line.uniform_line_size().expect("uniform line size");
+        assert_eq!(size, 16);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let addr = Addr::new(rng.below(1 << 13) as u64);
+            by_line.step_line(addr.line(size));
+            by_addr.step_addr(addr);
+        }
+        assert_eq!(by_line.stats(), by_addr.stats());
+    }
+
+    #[test]
+    fn step_consumes_mem_refs() {
+        let cfgs = vec![AugmentedConfig::new(geom())];
+        let mut gang = Gang::new(&cfgs);
+        gang.step(&MemRef::load(Addr::new(0x40)));
+        gang.step(&MemRef::instr(Addr::new(0x44)));
+        let stats = gang.into_stats();
+        assert_eq!(stats[0].accesses, 2);
+        assert_eq!(stats[0].l1_hits, 1);
+    }
+
+    #[test]
+    fn mixed_line_sizes_have_no_uniform_size() {
+        let a = AugmentedConfig::new(CacheGeometry::direct_mapped(1024, 16).unwrap());
+        let b = AugmentedConfig::new(CacheGeometry::direct_mapped(1024, 32).unwrap());
+        let gang = Gang::new(&[a, b]);
+        assert_eq!(gang.uniform_line_size(), None);
+        assert_eq!(gang.len(), 2);
+        assert!(!gang.is_empty());
+        let empty = Gang::new(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.uniform_line_size(), None);
+    }
+}

@@ -8,7 +8,7 @@ use jouppi_workloads::Benchmark;
 
 use crate::common::{
     average, baseline_l1, classify_side, pct_of_conflicts_removed, record_traces, run_side,
-    ExperimentConfig, Side,
+    run_side_gang, ExperimentConfig, Side, GANG_WIDTH,
 };
 use crate::sweep;
 
@@ -62,12 +62,44 @@ pub struct ConflictSweep {
     pub benchmarks: Vec<BenchSweep>,
 }
 
-/// Runs the sweep for entry counts `1..=max_entries`.
+/// Runs the sweep for entry counts `1..=max_entries` on the fused engine.
 ///
-/// Fans every (benchmark × side × entry-count) simulation over the sweep
-/// engine as an independent cell, after a first wave of classification
-/// cells computes the conflict-miss denominators.
+/// The unit of scheduled work is one (benchmark × side) cell: it
+/// classifies that side's misses once (the conflict-miss denominator) and
+/// then replays the side through [`run_side_gang`] gangs of up to
+/// [`GANG_WIDTH`] entry-count configurations — one trace pass per gang
+/// instead of one per configuration. Results are bit-identical to
+/// [`run_per_cell`] (pinned by the `fused_per_cell_equivalence` test).
 pub fn run(cfg: &ExperimentConfig, mechanism: Mechanism, max_entries: usize) -> ConflictSweep {
+    let geom = baseline_l1();
+    let traces = record_traces(cfg);
+    let cfgs: Vec<_> = (1..=max_entries).map(|n| mechanism.config(n)).collect();
+    let rows = sweep::map_jobs(traces.len() * 2, |cell| {
+        let (_, trace) = &traces[cell / 2];
+        let side = Side::BOTH[cell % 2];
+        let (_, breakdown) = classify_side(trace, side, geom);
+        let mut removed = Vec::with_capacity(max_entries);
+        for chunk in cfgs.chunks(GANG_WIDTH) {
+            for stats in run_side_gang(trace, side, chunk) {
+                removed.push(pct_of_conflicts_removed(
+                    stats.removed_misses(),
+                    breakdown.conflict,
+                ));
+            }
+        }
+        removed
+    });
+    assemble(mechanism, max_entries, &traces, |cell| rows[cell].clone())
+}
+
+/// Runs the sweep with one scheduled cell per (benchmark × side ×
+/// entry-count) simulation — the pre-fusion engine, kept as the reference
+/// implementation the fused path is checked against.
+pub fn run_per_cell(
+    cfg: &ExperimentConfig,
+    mechanism: Mechanism,
+    max_entries: usize,
+) -> ConflictSweep {
     let geom = baseline_l1();
     let traces = record_traces(cfg);
     let sides = traces.len() * 2;
@@ -83,7 +115,17 @@ pub fn run(cfg: &ExperimentConfig, mechanism: Mechanism, max_entries: usize) -> 
         let stats = run_side(trace, Side::BOTH[cell % 2], mechanism.config(entries));
         pct_of_conflicts_removed(stats.removed_misses(), conflicts[cell])
     });
-    let curve = |cell: usize| removed[cell * max_entries..(cell + 1) * max_entries].to_vec();
+    assemble(mechanism, max_entries, &traces, |cell| {
+        removed[cell * max_entries..(cell + 1) * max_entries].to_vec()
+    })
+}
+
+fn assemble(
+    mechanism: Mechanism,
+    max_entries: usize,
+    traces: &[(Benchmark, jouppi_trace::RecordedTrace)],
+    curve: impl Fn(usize) -> Vec<f64>,
+) -> ConflictSweep {
     let benchmarks = traces
         .iter()
         .enumerate()

@@ -7,7 +7,7 @@ use jouppi_workloads::Benchmark;
 
 use crate::common::{
     average, baseline_l1, classify_side, pct_of_misses_removed, record_traces, run_side,
-    ExperimentConfig, Side,
+    run_side_gang, ExperimentConfig, Side, GANG_WIDTH,
 };
 use crate::sweep;
 
@@ -44,12 +44,37 @@ fn config(ways: usize, run: usize) -> AugmentedConfig {
 }
 
 /// Runs the sweep for run lengths `0..=max_run` with `ways` parallel
-/// buffers.
+/// buffers on the fused engine.
 ///
-/// Every (benchmark × side × run-length) simulation fans over the sweep
-/// engine as an independent cell; a first wave of classification cells
-/// computes the total-miss denominators.
+/// The unit of scheduled work is one (benchmark × side) cell: it
+/// classifies that side once (the total-miss denominator) and then
+/// replays the side through [`run_side_gang`] gangs of up to
+/// [`GANG_WIDTH`] run-length configurations. Results are bit-identical
+/// to [`run_per_cell`] (pinned by the `fused_per_cell_equivalence`
+/// test).
 pub fn run(cfg: &ExperimentConfig, ways: usize, max_run: usize) -> StreamSweep {
+    let geom = baseline_l1();
+    let traces = record_traces(cfg);
+    let cfgs: Vec<_> = (0..=max_run).map(|run| config(ways, run)).collect();
+    let rows = sweep::map_jobs(traces.len() * 2, |cell| {
+        let (_, trace) = &traces[cell / 2];
+        let side = Side::BOTH[cell % 2];
+        let misses = classify_side(trace, side, geom).0;
+        let mut removed = Vec::with_capacity(max_run + 1);
+        for chunk in cfgs.chunks(GANG_WIDTH) {
+            for stats in run_side_gang(trace, side, chunk) {
+                removed.push(pct_of_misses_removed(stats.removed_misses(), misses));
+            }
+        }
+        removed
+    });
+    assemble(ways, max_run, &traces, |cell| rows[cell].clone())
+}
+
+/// Runs the sweep with one scheduled cell per (benchmark × side ×
+/// run-length) simulation — the pre-fusion engine, kept as the reference
+/// implementation the fused path is checked against.
+pub fn run_per_cell(cfg: &ExperimentConfig, ways: usize, max_run: usize) -> StreamSweep {
     let geom = baseline_l1();
     let traces = record_traces(cfg);
     let sides = traces.len() * 2;
@@ -64,7 +89,17 @@ pub fn run(cfg: &ExperimentConfig, ways: usize, max_run: usize) -> StreamSweep {
         let stats = run_side(trace, Side::BOTH[cell % 2], config(ways, job % runs));
         pct_of_misses_removed(stats.removed_misses(), misses[cell])
     });
-    let curve = |cell: usize| removed[cell * runs..(cell + 1) * runs].to_vec();
+    assemble(ways, max_run, &traces, |cell| {
+        removed[cell * runs..(cell + 1) * runs].to_vec()
+    })
+}
+
+fn assemble(
+    ways: usize,
+    max_run: usize,
+    traces: &[(Benchmark, jouppi_trace::RecordedTrace)],
+    curve: impl Fn(usize) -> Vec<f64>,
+) -> StreamSweep {
     let benchmarks = traces
         .iter()
         .enumerate()

@@ -1,0 +1,89 @@
+//! The fused sweep engine must be bit-identical to per-cell scheduling.
+//!
+//! Gang members are independent simulations, so interleaving their steps
+//! over one trace pass may not change a single counter relative to one
+//! pass per configuration. These tests pin that invariant over every
+//! named paper sweep the serve daemon exposes (`fig_3_1`, `miss_cache_4`,
+//! `victim_cache_4`, `stream_single_8`, `stream_four_8`) at smoke scale,
+//! and at the raw `AugmentedStats` level for mixed mechanism gangs.
+
+use jouppi_core::AugmentedConfig;
+use jouppi_core::StreamBufferConfig;
+use jouppi_experiments::common::{
+    baseline_l1, record_traces, run_side, run_side_gang, ExperimentConfig, Side,
+};
+use jouppi_experiments::{conflict_sweep, fig_3_1, stream_sweep};
+
+fn smoke_cfg() -> ExperimentConfig {
+    ExperimentConfig::with_scale(12_000)
+}
+
+#[test]
+fn miss_cache_sweep_fused_equals_per_cell() {
+    let cfg = smoke_cfg();
+    let fused = conflict_sweep::run(&cfg, conflict_sweep::Mechanism::MissCache, 4);
+    let per_cell = conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::MissCache, 4);
+    assert_eq!(fused, per_cell);
+}
+
+#[test]
+fn victim_cache_sweep_fused_equals_per_cell() {
+    let cfg = smoke_cfg();
+    let fused = conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 4);
+    let per_cell = conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::VictimCache, 4);
+    assert_eq!(fused, per_cell);
+}
+
+#[test]
+fn single_stream_sweep_fused_equals_per_cell() {
+    let cfg = smoke_cfg();
+    // Run length 8 spans two GANG_WIDTH-sized chunks (9 configurations).
+    assert_eq!(
+        stream_sweep::run(&cfg, 1, 8),
+        stream_sweep::run_per_cell(&cfg, 1, 8)
+    );
+}
+
+#[test]
+fn four_way_stream_sweep_fused_equals_per_cell() {
+    let cfg = smoke_cfg();
+    assert_eq!(
+        stream_sweep::run(&cfg, 4, 8),
+        stream_sweep::run_per_cell(&cfg, 4, 8)
+    );
+}
+
+#[test]
+fn fig_3_1_is_stable_across_repeat_runs() {
+    // fig_3_1 is classification-only (its unit of work is already one
+    // (benchmark, side) cell); pin that repeated runs — which now share
+    // the memoized trace set — agree exactly.
+    let cfg = smoke_cfg();
+    assert_eq!(fig_3_1::run(&cfg), fig_3_1::run(&cfg));
+}
+
+#[test]
+fn gang_stats_equal_solo_stats_for_mixed_mechanisms() {
+    // Raw AugmentedStats equality, member for member, on a gang mixing
+    // every mechanism class — stronger than the derived-percentage
+    // equality of the sweep tests above.
+    let cfg = smoke_cfg();
+    let base = AugmentedConfig::new(baseline_l1());
+    let cfgs = vec![
+        base,
+        base.miss_cache(2),
+        base.victim_cache(4),
+        base.stream_buffer(StreamBufferConfig::new(4)),
+        base.multi_way_stream_buffer(4, StreamBufferConfig::new(4).max_run(3)),
+        base.victim_cache(1),
+    ];
+    let traces = record_traces(&cfg);
+    for (_, trace) in traces.iter() {
+        for side in Side::BOTH {
+            let fused = run_side_gang(trace, side, &cfgs);
+            for (i, &c) in cfgs.iter().enumerate() {
+                assert_eq!(fused[i], run_side(trace, side, c), "member {i}");
+            }
+        }
+    }
+}

@@ -77,6 +77,8 @@ pub struct Sampled {
     pub refs_simulated: u64,
     /// Sweep-engine cells executed process-wide.
     pub sweep_cells: u64,
+    /// Replay throughput (refs/s) of the last completed named sweep.
+    pub refs_per_second: u64,
 }
 
 /// The registry: per-endpoint request counters and latency histograms.
@@ -149,7 +151,7 @@ impl Registry {
                 histogram.render(endpoint, &mut out);
             }
         }
-        let gauges: [(&str, &str, u64); 6] = [
+        let gauges: [(&str, &str, u64); 7] = [
             (
                 "jouppi_jobs_queue_depth",
                 "Jobs waiting in the bounded queue.",
@@ -179,6 +181,11 @@ impl Registry {
                 "jouppi_sweep_cells_total",
                 "Sweep-engine cells executed.",
                 sampled.sweep_cells,
+            ),
+            (
+                "jouppi_refs_per_second",
+                "Replay throughput of the last completed sweep.",
+                sampled.refs_per_second,
             ),
         ];
         for (name, help, value) in gauges {
@@ -213,6 +220,7 @@ mod tests {
             connections: 3,
             refs_simulated: 1_000,
             sweep_cells: 12,
+            refs_per_second: 1_234,
         });
         assert!(text.contains("jouppi_http_requests_total{endpoint=\"healthz\",status=\"200\"} 2"));
         assert!(text.contains("jouppi_http_requests_total{endpoint=\"sweep\",status=\"503\"} 1"));
@@ -223,6 +231,8 @@ mod tests {
         assert!(text.contains("jouppi_jobs_queue_depth 2"));
         assert!(text.contains("jouppi_jobs_completed_total 7"));
         assert!(text.contains("jouppi_refs_simulated_total 1000"));
+        assert!(text.contains("# TYPE jouppi_refs_per_second gauge"));
+        assert!(text.contains("jouppi_refs_per_second 1234"));
         assert_eq!(r.requests_for("healthz"), 2);
         assert_eq!(r.requests_for("nope"), 0);
     }

@@ -65,6 +65,7 @@ fn metrics(ctx: &Ctx) -> Response {
         connections: ctx.open_connections(),
         refs_simulated: refs_simulated(),
         sweep_cells: cells_executed(),
+        refs_per_second: sweeps::last_sweep_refs_per_second(),
     };
     let mut resp = Response::text(200, ctx.metrics.render(&sampled));
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";

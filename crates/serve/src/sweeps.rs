@@ -6,11 +6,26 @@
 //! integration test can run the same sweep in-process and require the
 //! served bytes to match **bit-for-bit**.
 
-use jouppi_experiments::common::ExperimentConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use jouppi_experiments::common::{refs_simulated, ExperimentConfig};
 use jouppi_experiments::{conflict_sweep, fig_3_1, stream_sweep};
 use jouppi_workloads::Scale;
 
 use crate::json::Json;
+
+/// Replay throughput (references per second) of the most recently
+/// completed named sweep; 0 until a sweep finishes. Concurrent sweeps
+/// share the process-wide reference counter, so under overlap the gauge
+/// reads combined throughput — fine for an operational gauge.
+static LAST_SWEEP_REFS_PER_SECOND: AtomicU64 = AtomicU64::new(0);
+
+/// The `jouppi_refs_per_second` gauge: throughput of the last completed
+/// sweep.
+pub fn last_sweep_refs_per_second() -> u64 {
+    LAST_SWEEP_REFS_PER_SECOND.load(Ordering::Relaxed)
+}
 
 /// The sweeps the service knows how to run.
 pub const NAMED_SWEEPS: [&str; 5] = [
@@ -45,6 +60,8 @@ pub fn sweep_config(scale: u64, seed: u64) -> Result<ExperimentConfig, String> {
 /// Runs the named sweep and encodes its result; `None` for an unknown
 /// name (the router 400s with the [`NAMED_SWEEPS`] catalog).
 pub fn run_named(name: &str, cfg: &ExperimentConfig) -> Option<Json> {
+    let refs_before = refs_simulated();
+    let start = Instant::now();
     let body = match name {
         "fig_3_1" => fig31_json(&fig_3_1::run(cfg)),
         "miss_cache_4" => conflict_json(&conflict_sweep::run(
@@ -61,6 +78,11 @@ pub fn run_named(name: &str, cfg: &ExperimentConfig) -> Option<Json> {
         "stream_four_8" => stream_json(&stream_sweep::run(cfg, 4, 8)),
         _ => return None,
     };
+    let seconds = start.elapsed().as_secs_f64();
+    let refs = refs_simulated().saturating_sub(refs_before);
+    if seconds > 0.0 && refs > 0 {
+        LAST_SWEEP_REFS_PER_SECOND.store((refs as f64 / seconds) as u64, Ordering::Relaxed);
+    }
     let mut doc = vec![
         ("sweep".to_owned(), Json::str(name)),
         ("scale".to_owned(), Json::Int(cfg.scale.instructions as i64)),

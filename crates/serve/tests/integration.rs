@@ -116,6 +116,12 @@ fn sweep_matches_in_process_run_bit_for_bit() {
         .expect("refs counter exported");
     let refs: u64 = refs_line.split(' ').nth(1).unwrap().parse().unwrap();
     assert!(refs > 0, "no references counted: {refs_line}");
+    let rps_line = text
+        .lines()
+        .find(|l| l.starts_with("jouppi_refs_per_second"))
+        .expect("throughput gauge exported");
+    let rps: u64 = rps_line.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(rps > 0, "completed sweeps must set throughput: {rps_line}");
     assert!(
         text.contains("jouppi_request_seconds_bucket{endpoint=\"sweep\",le=\"+Inf\"} 2"),
         "{text}"
