@@ -10,6 +10,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --release -- -D warnings
 
+echo "==> jouppi-lint: determinism/robustness invariants"
+cargo build --release -p jouppi-lint
+./target/release/jouppi-lint --root . --workspace
+./target/release/jouppi-lint --root . --workspace --json > /tmp/jouppi_lint_ci.json
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -25,6 +30,7 @@ cargo test --release -q -p jouppi-serve --test integration
 
 echo "==> sweep-bench smoke: fused vs per-cell schedules must agree"
 ./target/release/sweep-bench --smoke
+echo "    lint status: $(grep -q '"clean":true' /tmp/jouppi_lint_ci.json && echo clean || echo DIRTY) (jouppi-lint --workspace --json)"
 
 echo "==> loadgen smoke run"
 ./target/release/loadgen 120 4 /tmp/BENCH_serve_ci.json

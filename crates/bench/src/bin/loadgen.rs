@@ -15,6 +15,8 @@
 //! * `OUT_PATH` — where to write the JSON report (default
 //!   `BENCH_serve.json` in the current directory).
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::time::Instant;

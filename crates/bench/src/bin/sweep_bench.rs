@@ -18,6 +18,8 @@
 //! already one (benchmark, side) cell), so its schedule is labeled
 //! `fused` and no per-cell row exists for it.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::Instant;
 

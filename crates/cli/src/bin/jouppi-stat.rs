@@ -1,6 +1,8 @@
 //! `jouppi-stat` — trace statistics, footprints, and miss-rate curves.
 //! See [`jouppi_cli::stat`] for the option reference.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -3,7 +3,10 @@
 //! ```text
 //! jouppi serve [OPTIONS]   run the simulation-as-a-service daemon
 //! jouppi sim [OPTIONS]     one-shot simulation (same flags as jouppi-sim)
+//! jouppi lint [OPTIONS]    check the workspace invariants (jouppi-lint)
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -12,7 +15,8 @@ usage: jouppi <command> [OPTIONS]
 
 commands:
   serve   run the HTTP simulation service (see 'jouppi serve --help')
-  sim     simulate one cache organization (see 'jouppi sim --help')";
+  sim     simulate one cache organization (see 'jouppi sim --help')
+  lint    check determinism/robustness invariants (see 'jouppi lint --help')";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -49,6 +53,12 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("lint") => {
+            let result = jouppi_lint::cli::run(args);
+            print!("{}", result.stdout);
+            eprint!("{}", result.stderr);
+            ExitCode::from(result.code)
+        }
         Some("--help" | "-h") | None => {
             eprintln!("{USAGE}");
             ExitCode::FAILURE

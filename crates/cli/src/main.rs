@@ -1,6 +1,8 @@
 //! `jouppi-sim` — command-line cache simulator. See [`jouppi_cli`] for
 //! the option reference.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

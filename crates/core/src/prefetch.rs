@@ -17,10 +17,9 @@
 //! fast machine: most prefetched lines are needed within a handful of
 //! instruction times, far less than the 24-cycle second-level access.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use jouppi_cache::{Cache, CacheGeometry};
+use jouppi_cache::{Cache, CacheGeometry, FxHashMap};
 use jouppi_trace::{Addr, LineAddr};
 
 /// Which classical prefetch policy to simulate.
@@ -112,7 +111,7 @@ pub struct PrefetchSimulator {
     cache: Cache,
     /// Prefetched lines not yet used, with their issue times. Doubles as
     /// the cleared tag bit for `Tagged`.
-    pending: HashMap<LineAddr, u64>,
+    pending: FxHashMap<LineAddr, u64>,
     stats: PrefetchStats,
     lead_times: Vec<u64>,
 }
@@ -123,7 +122,7 @@ impl PrefetchSimulator {
         PrefetchSimulator {
             technique,
             cache: Cache::new(geom),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             stats: PrefetchStats::default(),
             lead_times: Vec::new(),
         }

@@ -9,6 +9,8 @@
 //!             fig-4-7 | overlap | fig-5-1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use jouppi_experiments::common::ExperimentConfig;
@@ -184,6 +186,9 @@ fn main() -> ExitCode {
         cfg.scale.instructions, cfg.seed
     );
     for name in &chosen {
+        // jouppi-lint: allow(ambient-time) — wall-clock progress stamp in
+        // the report footer; simulated results depend only on (trace,
+        // config, seed).
         let started = std::time::Instant::now();
         match run_one(name, &cfg) {
             Ok(text) => {

@@ -156,6 +156,8 @@ static REFS_SIMULATED: AtomicU64 = AtomicU64::new(0);
 /// [`classify_side`], and any caller of [`note_refs_simulated`] since
 /// process start.
 pub fn refs_simulated() -> u64 {
+    // jouppi-lint: allow(relaxed-ordering) — point-in-time sample of a
+    // monotone observability counter; exact under any ordering.
     REFS_SIMULATED.load(Ordering::Relaxed)
 }
 
@@ -163,6 +165,8 @@ pub fn refs_simulated() -> u64 {
 /// paths outside this module (e.g. the ad-hoc `/v1/simulate` endpoint)
 /// call this so `/metrics` sees all traffic.
 pub fn note_refs_simulated(n: u64) {
+    // jouppi-lint: allow(relaxed-ordering) — atomic RMW on a monotone
+    // counter loses no increments regardless of ordering.
     REFS_SIMULATED.fetch_add(n, Ordering::Relaxed);
 }
 

@@ -36,6 +36,8 @@ static CELLS_EXECUTED: AtomicU64 = AtomicU64::new(0);
 
 /// Total jobs run through [`map_jobs`] since process start.
 pub fn cells_executed() -> u64 {
+    // jouppi-lint: allow(relaxed-ordering) — point-in-time sample of a
+    // monotone observability counter; exact under any ordering.
     CELLS_EXECUTED.load(Ordering::Relaxed)
 }
 
@@ -86,6 +88,9 @@ pub fn available_cores() -> usize {
 ///
 /// Propagates a panic from any job.
 pub fn map_jobs<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    // jouppi-lint: allow(relaxed-ordering) — atomic RMW on a monotone
+    // counter loses no increments; ordering only affects when other
+    // threads see them, not the total.
     CELLS_EXECUTED.fetch_add(n as u64, Ordering::Relaxed);
     let workers = thread_count().min(n);
     if workers <= 1 {
@@ -99,6 +104,9 @@ pub fn map_jobs<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
             let next = &next;
             let f = &f;
             scope.spawn(move || loop {
+                // jouppi-lint: allow(relaxed-ordering) — fetch_add claims
+                // each index exactly once by RMW atomicity; results are
+                // ordered by the carried index, not by visibility.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;

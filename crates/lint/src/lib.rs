@@ -1,0 +1,61 @@
+//! `jouppi-lint` — std-only static analysis for the Jouppi workspace.
+//!
+//! The repo's headline guarantee is *exactness*: every paper claim is
+//! reproduced bit-for-bit, and the fused gang scheduler is bit-identical
+//! to per-cell scheduling. Those guarantees rest on conventions the
+//! compiler does not enforce — no ambient time or entropy in simulation
+//! crates, hasher-independent aggregation, no panic paths in the serve
+//! request loop. Since the workspace builds offline with zero external
+//! dependencies, tools like dylint and miri are out of reach; this crate
+//! is the checker built in the same std-only style as the rest.
+//!
+//! Architecture:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (comments, strings, raw
+//!   strings, char/byte literals, lifetimes), so lint patterns are
+//!   matched against *code tokens* only, never text inside literals;
+//! * [`lint`] — the catalog of enforced invariants;
+//! * [`policy`] — the per-crate table mapping files to active lints;
+//! * [`check`] — the per-file checker, including `#[cfg(test)]` region
+//!   exemption and the suppression-directive engine;
+//! * [`workspace`] — deterministic workspace walking;
+//! * [`report`] — human `file:line` output and the `--json` document;
+//! * [`cli`] — the driver shared by the `jouppi-lint` binary and the
+//!   `jouppi lint` subcommand.
+//!
+//! # Example
+//!
+//! ```
+//! use jouppi_lint::check::check_source;
+//! use jouppi_lint::lint::LintId;
+//! use jouppi_lint::policy::classify;
+//!
+//! let ctx = classify("crates/core/src/example.rs").expect("lintable path");
+//! let findings = check_source(&ctx, "fn f() { let t = Instant::now(); }");
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].lint, LintId::AmbientTime);
+//!
+//! // With a justified suppression the file is clean.
+//! let clean = check_source(
+//!     &ctx,
+//!     "// jouppi-lint: allow(ambient-time) — doc example\n\
+//!      fn f() { let t = Instant::now(); }",
+//! );
+//! assert!(clean.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod cli;
+pub mod lexer;
+pub mod lint;
+pub mod policy;
+pub mod report;
+pub mod workspace;
+
+pub use check::check_source;
+pub use lint::{Finding, LintId, ALL_LINTS};
+pub use policy::{classify, lints_for, FileContext};
+pub use workspace::{find_root, scan_workspace, ScanResult};

@@ -1,0 +1,150 @@
+//! The lint catalog: every invariant `jouppi-lint` enforces.
+
+use std::fmt;
+
+/// Identifies one lint in the catalog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintId {
+    /// Ambient time sources (`Instant`, `SystemTime`, `UNIX_EPOCH`) in
+    /// simulation crates.
+    AmbientTime,
+    /// Non-`jouppi` randomness (`rand::…`, `thread_rng`, `RandomState`,
+    /// …) in simulation crates.
+    AmbientRng,
+    /// Default-hasher `HashMap`/`HashSet` in simulation crates.
+    DefaultHasher,
+    /// `unwrap`/`expect`/`panic!`/`todo!`/… in `jouppi-serve` request
+    /// handling.
+    ServePanic,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// `dbg!` anywhere, or `println!`-family macros in library code.
+    DebugPrint,
+    /// `Ordering::Relaxed` in crates whose cross-thread counters feed
+    /// reported results.
+    RelaxedOrdering,
+    /// A malformed suppression directive (unknown lint, missing reason).
+    BadSuppression,
+    /// A suppression directive that matched no finding.
+    UnusedSuppression,
+}
+
+/// Every catalog entry, in reporting order.
+pub const ALL_LINTS: [LintId; 9] = [
+    LintId::AmbientTime,
+    LintId::AmbientRng,
+    LintId::DefaultHasher,
+    LintId::ServePanic,
+    LintId::ForbidUnsafe,
+    LintId::DebugPrint,
+    LintId::RelaxedOrdering,
+    LintId::BadSuppression,
+    LintId::UnusedSuppression,
+];
+
+impl LintId {
+    /// The kebab-case name used in reports and suppression directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintId::AmbientTime => "ambient-time",
+            LintId::AmbientRng => "ambient-rng",
+            LintId::DefaultHasher => "default-hasher",
+            LintId::ServePanic => "serve-panic",
+            LintId::ForbidUnsafe => "forbid-unsafe",
+            LintId::DebugPrint => "debug-print",
+            LintId::RelaxedOrdering => "relaxed-ordering",
+            LintId::BadSuppression => "bad-suppression",
+            LintId::UnusedSuppression => "unused-suppression",
+        }
+    }
+
+    /// Parses a directive/report name back into an id.
+    pub fn from_name(name: &str) -> Option<LintId> {
+        ALL_LINTS.iter().copied().find(|l| l.name() == name)
+    }
+
+    /// One-line description for `--list` and the docs.
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintId::AmbientTime => {
+                "no ambient time sources (Instant/SystemTime/UNIX_EPOCH) in simulation crates \
+                 — results must be a pure function of (trace, config, seed)"
+            }
+            LintId::AmbientRng => {
+                "no ambient randomness (rand::, thread_rng, from_entropy, RandomState, …) in \
+                 simulation crates — all randomness flows from the seeded jouppi PRNG"
+            }
+            LintId::DefaultHasher => {
+                "no default-hasher HashMap/HashSet in simulation crates — use the FxHash types \
+                 from jouppi_cache::line_hash (deterministic, fast) or a BTree collection"
+            }
+            LintId::ServePanic => {
+                "no unwrap/expect/panic!/todo!/unreachable!/unimplemented! in jouppi-serve \
+                 — request handling returns 4xx/5xx documents, never panics"
+            }
+            LintId::ForbidUnsafe => {
+                "every crate root (lib.rs, main.rs, src/bin/*.rs) carries \
+                 #![forbid(unsafe_code)]"
+            }
+            LintId::DebugPrint => {
+                "no dbg! anywhere and no println!/print!/eprintln!/eprint! in library code \
+                 — libraries return strings; binaries do the printing"
+            }
+            LintId::RelaxedOrdering => {
+                "Ordering::Relaxed on counters that feed reported results needs a written \
+                 justification (fetch_add totals are exact, cross-variable ordering is not)"
+            }
+            LintId::BadSuppression => {
+                "suppression directives must name a known lint and carry a non-empty reason"
+            }
+            LintId::UnusedSuppression => {
+                "suppression directives that match no finding must be deleted"
+            }
+        }
+    }
+
+    /// Whether findings of this lint may themselves be suppressed.
+    /// Directive-hygiene lints may not, or a stale directive could hide
+    /// itself.
+    pub fn suppressible(self) -> bool {
+        !matches!(self, LintId::BadSuppression | LintId::UnusedSuppression)
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint hit: a location plus a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// 1-based source line.
+    pub line: u32,
+    /// Which lint fired.
+    pub lint: LintId,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for lint in ALL_LINTS {
+            assert_eq!(LintId::from_name(lint.name()), Some(lint));
+            assert!(!lint.summary().is_empty());
+        }
+        assert_eq!(LintId::from_name("no-such-lint"), None);
+    }
+
+    #[test]
+    fn hygiene_lints_are_not_suppressible() {
+        assert!(!LintId::BadSuppression.suppressible());
+        assert!(!LintId::UnusedSuppression.suppressible());
+        assert!(LintId::AmbientTime.suppressible());
+    }
+}

@@ -1,0 +1,165 @@
+//! The per-crate policy table: which lints apply where.
+//!
+//! Policy is keyed on a file's *workspace-relative path*. Each file gets
+//! a [`FileContext`] describing the crate it belongs to and its role
+//! (library module, binary, crate root, test), and [`lints_for`] maps
+//! that context to the set of active lints:
+//!
+//! | crate | determinism (time/rng/hasher) | serve-panic | relaxed-ordering |
+//! |---|---|---|---|
+//! | trace, cache, core, workloads, system, experiments, jouppi (root) | ✔ | | experiments only |
+//! | serve | | ✔ | ✔ |
+//! | report, bench, cli, lint | | | |
+//!
+//! `forbid-unsafe` applies to every crate root; `debug-print` applies to
+//! all non-binary library code (plus `dbg!` in binaries too). Files under
+//! a `tests/` directory and `#[cfg(test)]` regions are exempt from
+//! everything — tests may unwrap and print freely.
+
+use crate::lint::LintId;
+
+/// Where a source file sits in the workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Crate directory name (`trace`, `serve`, …); `"jouppi"` for the
+    /// umbrella crate at the workspace root.
+    pub crate_name: String,
+    /// Whether the file lives under a `tests/` directory (integration
+    /// tests: exempt from all lints).
+    pub is_test_file: bool,
+    /// Whether the file is part of a binary target (`main.rs` or under
+    /// `src/bin/`).
+    pub is_bin: bool,
+    /// Whether the file is a crate root (`lib.rs`, `main.rs`, or a
+    /// direct child of `src/bin/`).
+    pub is_crate_root: bool,
+}
+
+/// Crates whose outputs are simulation results, and must therefore be
+/// bit-reproducible from (trace, config, seed) alone.
+const SIM_CRATES: [&str; 7] = [
+    "trace",
+    "cache",
+    "core",
+    "workloads",
+    "system",
+    "experiments",
+    "jouppi",
+];
+
+/// Classifies a workspace-relative path. Returns `None` for paths the
+/// linter does not cover (examples, benches, non-Rust files, build
+/// output).
+pub fn classify(rel_path: &str) -> Option<FileContext> {
+    if !rel_path.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (crate_name, rest): (String, &[&str]) = match parts.as_slice() {
+        ["crates", name, rest @ ..] => ((*name).to_owned(), rest),
+        ["src" | "tests", ..] => ("jouppi".to_owned(), &parts[..]),
+        _ => return None,
+    };
+    let (is_test_file, in_src, tail): (bool, bool, &[&str]) = match rest {
+        ["src", tail @ ..] => (false, true, tail),
+        ["tests", tail @ ..] => (true, false, tail),
+        _ => return None,
+    };
+    let is_bin = in_src && (tail == ["main.rs"] || tail.first() == Some(&"bin"));
+    let is_crate_root = in_src
+        && (tail == ["lib.rs"] || tail == ["main.rs"] || (tail.len() == 2 && tail[0] == "bin"));
+    Some(FileContext {
+        rel_path: rel_path.to_owned(),
+        crate_name,
+        is_test_file,
+        is_bin,
+        is_crate_root,
+    })
+}
+
+/// The lints active for a file. Empty for test files; the caller also
+/// skips `#[cfg(test)]` regions within non-test files.
+pub fn lints_for(ctx: &FileContext) -> Vec<LintId> {
+    if ctx.is_test_file {
+        return Vec::new();
+    }
+    let mut lints = Vec::new();
+    if SIM_CRATES.contains(&ctx.crate_name.as_str()) {
+        lints.push(LintId::AmbientTime);
+        lints.push(LintId::AmbientRng);
+        lints.push(LintId::DefaultHasher);
+    }
+    if ctx.crate_name == "serve" {
+        lints.push(LintId::ServePanic);
+    }
+    if ctx.crate_name == "experiments" || ctx.crate_name == "serve" {
+        lints.push(LintId::RelaxedOrdering);
+    }
+    if ctx.is_crate_root {
+        lints.push(LintId::ForbidUnsafe);
+    }
+    lints.push(LintId::DebugPrint);
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_workspace_shapes() {
+        let lib = classify("crates/cache/src/lru.rs").expect("lib module");
+        assert_eq!(lib.crate_name, "cache");
+        assert!(!lib.is_bin && !lib.is_crate_root && !lib.is_test_file);
+
+        let root = classify("crates/serve/src/lib.rs").expect("crate root");
+        assert!(root.is_crate_root && !root.is_bin);
+
+        let bin = classify("crates/cli/src/bin/jouppi.rs").expect("bin root");
+        assert!(bin.is_bin && bin.is_crate_root);
+
+        let main = classify("crates/cli/src/main.rs").expect("main");
+        assert!(main.is_bin && main.is_crate_root);
+
+        let t = classify("crates/serve/tests/integration.rs").expect("test");
+        assert!(t.is_test_file);
+
+        let umbrella = classify("src/lib.rs").expect("umbrella root");
+        assert_eq!(umbrella.crate_name, "jouppi");
+        assert!(umbrella.is_crate_root);
+
+        let root_test = classify("tests/paper_claims.rs").expect("root test");
+        assert!(root_test.is_test_file);
+
+        assert!(classify("examples/quickstart.rs").is_none());
+        assert!(classify("crates/cache/benches/x.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn policy_matches_the_table() {
+        let sim = classify("crates/core/src/victim_cache.rs").expect("sim module");
+        let lints = lints_for(&sim);
+        assert!(lints.contains(&LintId::AmbientTime));
+        assert!(lints.contains(&LintId::DefaultHasher));
+        assert!(!lints.contains(&LintId::ServePanic));
+
+        let serve = classify("crates/serve/src/routes.rs").expect("serve module");
+        let lints = lints_for(&serve);
+        assert!(lints.contains(&LintId::ServePanic));
+        assert!(lints.contains(&LintId::RelaxedOrdering));
+        assert!(!lints.contains(&LintId::AmbientTime));
+
+        let exp = classify("crates/experiments/src/sweep.rs").expect("experiments");
+        assert!(lints_for(&exp).contains(&LintId::RelaxedOrdering));
+
+        let test = classify("crates/cache/tests/lru_backends.rs").expect("test");
+        assert!(lints_for(&test).is_empty());
+
+        let report = classify("crates/report/src/table.rs").expect("report");
+        let lints = lints_for(&report);
+        assert_eq!(lints, vec![LintId::DebugPrint]);
+    }
+}

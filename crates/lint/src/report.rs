@@ -1,0 +1,133 @@
+//! Rendering scan results: human `file:line` lines and the `--json`
+//! machine document (built on the workspace's ordered-JSON model).
+
+use jouppi_serve::json::Json;
+
+use crate::lint::ALL_LINTS;
+use crate::workspace::ScanResult;
+
+/// Human-readable report: one `file:line: [lint] message` line per
+/// finding plus a summary line.
+pub fn human(result: &ScanResult) -> String {
+    let mut out = String::new();
+    for (path, finding) in result.findings() {
+        out.push_str(&format!(
+            "{path}:{line}: [{lint}] {msg}\n",
+            line = finding.line,
+            lint = finding.lint.name(),
+            msg = finding.message
+        ));
+    }
+    let n = result.total_findings();
+    if n == 0 {
+        out.push_str(&format!(
+            "jouppi-lint: clean — {} files, 0 findings\n",
+            result.files_scanned()
+        ));
+    } else {
+        out.push_str(&format!(
+            "jouppi-lint: {n} finding{s} in {} files\n",
+            result.files_scanned(),
+            s = if n == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Machine-readable report document.
+pub fn to_json(result: &ScanResult) -> Json {
+    let findings: Vec<Json> = result
+        .findings()
+        .map(|(path, f)| {
+            Json::obj([
+                ("file", Json::str(path)),
+                ("line", Json::Int(i64::from(f.line))),
+                ("lint", Json::str(f.lint.name())),
+                ("message", Json::str(f.message.clone())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("tool", Json::str("jouppi-lint")),
+        ("version", Json::Int(1)),
+        ("files_scanned", Json::Int(result.files_scanned() as i64)),
+        ("findings", Json::Arr(findings)),
+        ("clean", Json::Bool(result.is_clean())),
+    ])
+}
+
+/// The `--list` catalog text.
+pub fn catalog() -> String {
+    let mut out = String::from("jouppi-lint catalog:\n");
+    for lint in ALL_LINTS {
+        out.push_str(&format!("  {:<20} {}\n", lint.name(), lint.summary()));
+    }
+    out.push_str(
+        "\nsuppression: // jouppi-lint: allow(<lint>) — <reason>\n\
+         file scope:  // jouppi-lint: allow-file(<lint>) — <reason>\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{Finding, LintId};
+    use crate::workspace::FileReport;
+
+    fn sample() -> ScanResult {
+        ScanResult {
+            files: vec![
+                FileReport {
+                    rel_path: "crates/core/src/x.rs".to_owned(),
+                    findings: vec![Finding {
+                        line: 7,
+                        lint: LintId::AmbientTime,
+                        message: "ambient time source `Instant`".to_owned(),
+                    }],
+                },
+                FileReport {
+                    rel_path: "crates/core/src/y.rs".to_owned(),
+                    findings: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn human_report_lists_findings_and_summary() {
+        let text = human(&sample());
+        assert!(text.contains("crates/core/src/x.rs:7: [ambient-time]"));
+        assert!(text.contains("1 finding in 2 files"));
+        let clean = ScanResult {
+            files: vec![FileReport {
+                rel_path: "a.rs".to_owned(),
+                findings: Vec::new(),
+            }],
+        };
+        assert!(human(&clean).contains("clean — 1 files, 0 findings"));
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let doc = to_json(&sample());
+        let parsed = Json::parse(&doc.encode()).expect("valid JSON");
+        assert_eq!(parsed.get("clean"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get("files_scanned"), Some(&Json::Int(2)));
+        let findings = parsed
+            .get("findings")
+            .and_then(Json::as_arr)
+            .expect("findings array");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("line"), Some(&Json::Int(7)));
+        assert_eq!(findings[0].get("lint"), Some(&Json::str("ambient-time")));
+    }
+
+    #[test]
+    fn catalog_names_every_lint() {
+        let text = catalog();
+        for lint in ALL_LINTS {
+            assert!(text.contains(lint.name()), "missing {}", lint.name());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Workspace discovery and the full-tree scan.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::check::check_source;
+use crate::lint::Finding;
+use crate::policy::classify;
+
+/// Directories never descended into.
+const PRUNED_DIRS: [&str; 4] = ["target", ".git", "examples", "node_modules"];
+
+/// One scanned file's findings.
+#[derive(Clone, Debug)]
+pub struct FileReport {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Findings in line order (empty for clean files).
+    pub findings: Vec<Finding>,
+}
+
+/// The result of scanning a workspace.
+#[derive(Clone, Debug, Default)]
+pub struct ScanResult {
+    /// Per-file reports, sorted by path; clean files are included with
+    /// empty findings so `files_scanned` is auditable.
+    pub files: Vec<FileReport>,
+}
+
+impl ScanResult {
+    /// Number of files lexed and checked.
+    pub fn files_scanned(&self) -> usize {
+        self.files.len()
+    }
+
+    /// All findings, flattened in (path, line) order.
+    pub fn findings(&self) -> impl Iterator<Item = (&str, &Finding)> {
+        self.files
+            .iter()
+            .flat_map(|f| f.findings.iter().map(move |x| (f.rel_path.as_str(), x)))
+    }
+
+    /// Total number of findings.
+    pub fn total_findings(&self) -> usize {
+        self.files.iter().map(|f| f.findings.len()).sum()
+    }
+
+    /// Whether the scan found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.total_findings() == 0
+    }
+}
+
+/// Walks upward from `start` looking for the workspace root (a
+/// `Cargo.toml` declaring `[workspace]`).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Scans the whole workspace under `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading directories or files.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
+    let mut rel_paths = Vec::new();
+    collect_rs_files(root, root, &mut rel_paths)?;
+    rel_paths.sort();
+    scan_files(root, &rel_paths)
+}
+
+/// Scans an explicit list of workspace-relative files.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the files.
+pub fn scan_files(root: &Path, rel_paths: &[String]) -> io::Result<ScanResult> {
+    let mut result = ScanResult::default();
+    for rel in rel_paths {
+        let Some(ctx) = classify(rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(root.join(rel))?;
+        result.files.push(FileReport {
+            rel_path: rel.clone(),
+            findings: check_source(&ctx, &src),
+        });
+    }
+    Ok(result)
+}
+
+/// Recursively collects `.rs` files, pruning build output and examples;
+/// entries are visited in sorted order so scans are deterministic.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if PRUNED_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_locates_this_workspace() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates").is_dir());
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn scan_is_deterministic_and_covers_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        let a = scan_workspace(&root).expect("first scan");
+        let b = scan_workspace(&root).expect("second scan");
+        assert!(a.files_scanned() > 20, "scanned {}", a.files_scanned());
+        let paths = |r: &ScanResult| {
+            r.files
+                .iter()
+                .map(|f| f.rel_path.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(paths(&a), paths(&b));
+        assert!(paths(&a).contains(&"crates/lint/src/lexer.rs".to_owned()));
+        // examples/ and target/ are pruned.
+        assert!(!paths(&a).iter().any(|p| p.starts_with("examples/")));
+        assert!(!paths(&a).iter().any(|p| p.starts_with("target/")));
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: ambient entropy in a simulation crate.
+
+pub fn roll() -> u32 {
+    let mut r = rand::thread_rng();
+    r.gen_range(0..6)
+}

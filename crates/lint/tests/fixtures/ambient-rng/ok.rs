@@ -1,0 +1,8 @@
+//! Fixture: the fix — draw from the seeded jouppi PRNG instead.
+
+use jouppi_trace::SmallRng;
+
+pub fn roll(seed: u64) -> u32 {
+    let mut r = SmallRng::seed_from_u64(seed);
+    r.gen_range(0..6)
+}

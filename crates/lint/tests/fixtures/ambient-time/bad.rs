@@ -1,0 +1,6 @@
+//! Fixture: ambient time in a simulation crate.
+
+pub fn elapsed_nanos() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

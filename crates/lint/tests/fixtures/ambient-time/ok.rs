@@ -1,0 +1,8 @@
+//! Fixture: the same probe, justified as progress reporting.
+
+pub fn elapsed_nanos() -> u64 {
+    // jouppi-lint: allow(ambient-time) — progress telemetry only; the value
+    // never feeds a simulated result
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,6 @@
+//! Fixture: a suppression without the mandatory reason.
+
+// jouppi-lint: allow(ambient-time)
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

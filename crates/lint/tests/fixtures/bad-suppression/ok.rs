@@ -1,0 +1,7 @@
+//! Fixture: the fix — the reason makes the directive well-formed.
+
+pub fn stamp_nanos() -> u64 {
+    // jouppi-lint: allow(ambient-time) — fixture of a justified suppression
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+//! Fixture: stray console output in library code.
+
+pub fn announce(x: u32) {
+    println!("x = {x}");
+}

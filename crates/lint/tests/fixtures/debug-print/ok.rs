@@ -1,0 +1,5 @@
+//! Fixture: the fix — return text; binaries do the printing.
+
+pub fn announce(x: u32) -> String {
+    format!("x = {x}")
+}

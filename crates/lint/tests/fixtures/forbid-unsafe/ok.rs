@@ -1,0 +1,7 @@
+//! Fixture: the fix — the crate root bans unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,9 @@
+//! Fixture: an unjustified relaxed atomic feeding reported counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,11 @@
+//! Fixture: the same counter with the exactness argument recorded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    // jouppi-lint: allow(relaxed-ordering) — monotone fetch_add counter;
+    // the total is exact under any ordering
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

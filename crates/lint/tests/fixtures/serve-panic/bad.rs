@@ -1,0 +1,8 @@
+//! Fixture: panic paths in request handling.
+
+pub fn parse_id(path: &str) -> u64 {
+    path.strip_prefix("/v1/jobs/")
+        .unwrap()
+        .parse()
+        .expect("numeric id")
+}

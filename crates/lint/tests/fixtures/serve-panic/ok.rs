@@ -1,0 +1,8 @@
+//! Fixture: the fix — malformed input becomes an error, not a panic.
+
+pub fn parse_id(path: &str) -> Result<u64, String> {
+    path.strip_prefix("/v1/jobs/")
+        .ok_or_else(|| "not a job path".to_owned())?
+        .parse()
+        .map_err(|e| format!("bad job id: {e}"))
+}

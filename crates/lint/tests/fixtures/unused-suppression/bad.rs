@@ -1,0 +1,6 @@
+//! Fixture: a directive left behind after the code it excused was removed.
+
+// jouppi-lint: allow(ambient-time) — leftover from a removed timing probe
+pub fn answer() -> u32 {
+    7
+}

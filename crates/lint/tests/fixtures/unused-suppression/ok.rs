@@ -1,0 +1,5 @@
+//! Fixture: the fix — the stale directive is gone.
+
+pub fn answer() -> u32 {
+    7
+}

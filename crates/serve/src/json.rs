@@ -449,7 +449,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ASCII bytes in number".to_string()))?;
         if !fractional {
             if let Ok(n) = text.parse::<i64>() {
                 return Ok(Json::Int(n));

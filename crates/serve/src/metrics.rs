@@ -6,6 +6,10 @@
 //! atomics and one mutex; rendering is deterministic (sorted label
 //! sets) so tests can assert on exact lines.
 
+// jouppi-lint: allow-file(relaxed-ordering) — every atomic here is a
+// monotone fetch_add counter or an independent single-word gauge; totals
+// are exact under any ordering and /metrics renders point-in-time
+// operational samples, not simulation results.
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;

@@ -113,14 +113,17 @@ impl JobQueue {
     }
 
     /// Starts `n` worker threads that execute jobs until shutdown.
-    pub fn spawn_workers(self: &Arc<Self>, n: usize) -> Vec<JoinHandle<()>> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-spawn failures (resource exhaustion at boot).
+    pub fn spawn_workers(self: &Arc<Self>, n: usize) -> std::io::Result<Vec<JoinHandle<()>>> {
         (0..n.max(1))
             .map(|i| {
                 let q = Arc::clone(self);
                 std::thread::Builder::new()
                     .name(format!("jouppi-job-{i}"))
                     .spawn(move || q.worker_loop())
-                    .expect("spawn job worker")
             })
             .collect()
     }
@@ -248,7 +251,7 @@ mod tests {
     #[test]
     fn jobs_run_and_are_pollable() {
         let q = JobQueue::new(8);
-        let workers = q.spawn_workers(2);
+        let workers = q.spawn_workers(2).expect("spawn");
         let id = q.submit("double", Box::new(|| Ok(Json::Int(42)))).unwrap();
         let (name, state) = q.wait(id, Duration::from_secs(5)).unwrap();
         assert_eq!(name, "double");
@@ -287,7 +290,7 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        let workers = q.spawn_workers(2);
+        let workers = q.spawn_workers(2).expect("spawn");
         q.shutdown();
         assert_eq!(
             q.submit("late", Box::new(|| Ok(Json::Null))),
@@ -306,7 +309,7 @@ mod tests {
     #[test]
     fn panicking_job_fails_without_killing_worker() {
         let q = JobQueue::new(4);
-        let workers = q.spawn_workers(1);
+        let workers = q.spawn_workers(1).expect("spawn");
         let bad = q.submit("bad", Box::new(|| panic!("boom"))).unwrap();
         let good = q.submit("good", Box::new(|| Ok(Json::Bool(true)))).unwrap();
         let (_, bad_state) = q.wait(bad, Duration::from_secs(5)).unwrap();

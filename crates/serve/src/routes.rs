@@ -24,11 +24,10 @@ pub(crate) fn route(ctx: &Ctx, req: &Request) -> (&'static str, Response) {
         "/metrics" => ("metrics", expect_get(req, metrics(ctx))),
         "/v1/simulate" => ("simulate", expect_post(req, |r| simulate(ctx, r))),
         "/v1/sweep" => ("sweep", expect_post(req, |r| sweep(ctx, r))),
-        path if path.strip_prefix("/v1/jobs/").is_some() => {
-            let id = path.strip_prefix("/v1/jobs/").expect("guarded");
-            ("jobs", expect_get(req, job_status(ctx, id)))
-        }
-        _ => ("other", Response::error(404, "no such endpoint")),
+        path => match path.strip_prefix("/v1/jobs/") {
+            Some(id) => ("jobs", expect_get(req, job_status(ctx, id))),
+            None => ("other", Response::error(404, "no such endpoint")),
+        },
     }
 }
 

@@ -105,12 +105,12 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind and thread-spawn failures.
     pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let queue = JobQueue::new(cfg.queue_depth);
-        let workers = queue.spawn_workers(cfg.workers);
+        let workers = queue.spawn_workers(cfg.workers)?;
         let ctx = Arc::new(Ctx {
             cfg,
             queue,
@@ -124,8 +124,7 @@ impl Server {
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("jouppi-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &ctx, &conns))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&listener, &ctx, &conns))?
         };
         Ok(ServerHandle {
             addr,

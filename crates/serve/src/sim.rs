@@ -70,7 +70,9 @@ pub fn simulate(body: &Json) -> Result<Json, String> {
     let seed = get_u64(body, "seed", 42)?;
 
     let geometry = match body.get("cache") {
-        None => CacheGeometry::direct_mapped(4096, 16).expect("default geometry"),
+        None => {
+            CacheGeometry::direct_mapped(4096, 16).map_err(|e| format!("default geometry: {e}"))?
+        }
         Some(spec) => {
             let size = get_u64(spec, "size", 4096)?;
             let line = get_u64(spec, "line", 16)?;

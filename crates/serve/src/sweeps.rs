@@ -24,6 +24,8 @@ static LAST_SWEEP_REFS_PER_SECOND: AtomicU64 = AtomicU64::new(0);
 /// The `jouppi_refs_per_second` gauge: throughput of the last completed
 /// sweep.
 pub fn last_sweep_refs_per_second() -> u64 {
+    // jouppi-lint: allow(relaxed-ordering) — single-word operational
+    // gauge; any published value is a complete, valid sample.
     LAST_SWEEP_REFS_PER_SECOND.load(Ordering::Relaxed)
 }
 
@@ -81,6 +83,8 @@ pub fn run_named(name: &str, cfg: &ExperimentConfig) -> Option<Json> {
     let seconds = start.elapsed().as_secs_f64();
     let refs = refs_simulated().saturating_sub(refs_before);
     if seconds > 0.0 && refs > 0 {
+        // jouppi-lint: allow(relaxed-ordering) — single-word gauge store;
+        // no other memory is published alongside it.
         LAST_SWEEP_REFS_PER_SECOND.store((refs as f64 / seconds) as u64, Ordering::Relaxed);
     }
     let mut doc = vec![
