@@ -10,17 +10,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --release -- -D warnings
 
-echo "==> jouppi-lint: determinism/robustness invariants"
+echo "==> jouppi-lint: determinism/robustness invariants (ratcheted)"
 cargo build --release -p jouppi-lint
-./target/release/jouppi-lint --root . --workspace
-./target/release/jouppi-lint --root . --workspace --json > /tmp/jouppi_lint_ci.json
+# The baseline ratchet fails on any finding beyond lint-baseline.json's
+# grandfathered counts AND on stale entries the tree has outgrown;
+# --timings keeps the gate's per-analysis cost visible.
+./target/release/jouppi-lint --root . --workspace --baseline lint-baseline.json --timings
+./target/release/jouppi-lint --root . --workspace --json --baseline lint-baseline.json > /tmp/jouppi_lint_ci.json
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
 echo "==> build examples and benchmark binaries"
 cargo build --release --examples
-cargo build --release -p jouppi-bench --bin loadgen --bin sweep-bench
+cargo build --release -p jouppi-bench --bin loadgen --bin sweep-bench --bin json-check
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
@@ -30,10 +33,15 @@ cargo test --release -q -p jouppi-serve --test integration
 
 echo "==> sweep-bench smoke: fused vs per-cell schedules must agree"
 ./target/release/sweep-bench --smoke
-echo "    lint status: $(grep -q '"clean":true' /tmp/jouppi_lint_ci.json && echo clean || echo DIRTY) (jouppi-lint --workspace --json)"
+echo "    lint status: $(grep -q '"ok":true' /tmp/jouppi_lint_ci.json && echo "at baseline" || echo DIRTY) (jouppi-lint --workspace --json --baseline lint-baseline.json)"
 
-echo "==> loadgen smoke run"
-./target/release/loadgen 120 4 /tmp/BENCH_serve_ci.json
-grep -q '"benchmark": "loadgen"' /tmp/BENCH_serve_ci.json
+echo "==> refresh BENCH_sweep.json (timed sweep schedules)"
+./target/release/sweep-bench 60000 BENCH_sweep.json
+
+echo "==> refresh BENCH_serve.json (loadgen smoke run)"
+./target/release/loadgen 120 4 BENCH_serve.json
+
+echo "==> validate benchmark reports against the shared JSON model"
+./target/release/json-check BENCH_sweep.json BENCH_serve.json
 
 echo "CI OK"

@@ -1,0 +1,60 @@
+//! Validates benchmark report files against the shared JSON model.
+//!
+//! Usage: `json-check FILE...`
+//!
+//! Each FILE must parse with `jouppi_serve::json` — the same model the
+//! daemon serves and the report tooling consumes — and carry a
+//! top-level `"benchmark"` string plus at least one non-empty array of
+//! result rows (`"results"` for sweep-bench, `"latency"` for loadgen).
+//! An empty row array means the bench trajectory silently recorded
+//! nothing, so it fails. Exits nonzero naming every file that fails.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use jouppi_serve::json::Json;
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let benchmark = doc
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or("missing top-level \"benchmark\" string")?
+        .to_owned();
+    let Json::Obj(fields) = &doc else {
+        return Err("top level is not an object".to_owned());
+    };
+    let rows: usize = fields
+        .iter()
+        .filter_map(|(_, v)| v.as_arr().map(<[Json]>::len))
+        .sum();
+    if rows == 0 {
+        return Err("no result rows — the bench trajectory must never be empty".to_owned());
+    }
+    Ok(format!("benchmark \"{benchmark}\", {rows} result rows"))
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: json-check FILE...");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for path in &paths {
+        match check(path) {
+            Ok(summary) => eprintln!("ok   {path}: {summary}"),
+            Err(why) => {
+                eprintln!("FAIL {path}: {why}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -73,6 +73,10 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
             raw.parse::<u64>()
                 .map_err(|_| err(format!("{name} wants an integer, got '{raw}'")))
         };
+        let parse_usize = |name: &str, raw: String| {
+            raw.parse::<usize>()
+                .map_err(|_| err(format!("{name} wants an integer, got '{raw}'")))
+        };
         match arg.as_str() {
             "--host" => host = value("--host")?,
             "--port" => {
@@ -81,15 +85,15 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
                     .map_err(|_| err("--port wants 0..=65535"))?;
             }
             "--workers" => {
-                opts.config.workers = parse_u64("--workers", value("--workers")?)?.max(1) as usize;
+                opts.config.workers = parse_usize("--workers", value("--workers")?)?.max(1);
             }
             "--queue-depth" => {
                 opts.config.queue_depth =
-                    parse_u64("--queue-depth", value("--queue-depth")?)?.max(1) as usize;
+                    parse_usize("--queue-depth", value("--queue-depth")?)?.max(1);
             }
             "--max-body" => {
                 opts.config.limits = Limits {
-                    max_body_bytes: parse_u64("--max-body", value("--max-body")?)? as usize,
+                    max_body_bytes: parse_usize("--max-body", value("--max-body")?)?,
                     ..opts.config.limits
                 };
             }

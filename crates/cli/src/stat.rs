@@ -165,7 +165,11 @@ pub fn run_stat(opts: &StatOptions) -> Result<String, Box<dyn std::error::Error>
             format!("{:.4}", dm.stats().miss_rate()),
             format!(
                 "{:.4}",
-                profile.miss_rate_for_capacity((size / opts.line_size) as usize)
+                // The sweep tops out at 128KB, so the line count always
+                // fits; saturating keeps the expression infallible.
+                profile.miss_rate_for_capacity(
+                    usize::try_from(size / opts.line_size).unwrap_or(usize::MAX)
+                )
             ),
             format!("{:.0}%", 100.0 * dm.breakdown().conflict_fraction()),
         ]);

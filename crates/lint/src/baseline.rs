@@ -1,0 +1,242 @@
+//! The baseline ratchet: grandfathered findings may only shrink.
+//!
+//! Introducing a new analysis to a living tree surfaces findings that
+//! are real but not worth blocking every PR on at once. The baseline
+//! file (`lint-baseline.json` at the workspace root) records those
+//! grandfathered findings as `(file, lint) → count` entries. Against a
+//! baseline, the gate becomes a *ratchet*:
+//!
+//! * a file's count **above** its baseline entry is a new finding —
+//!   fail;
+//! * a count **below** the entry means debt was paid off — also fail,
+//!   with instructions to regenerate (`--write-baseline`), so the
+//!   baseline can never silently re-grow to its old level;
+//! * equal counts pass.
+//!
+//! Counts are compared per `(file, lint)` rather than per line so that
+//! unrelated edits moving a grandfathered finding a few lines do not
+//! churn the baseline.
+
+use std::collections::BTreeMap;
+
+use jouppi_serve::json::Json;
+
+use crate::workspace::ScanResult;
+
+/// Grandfathered finding counts, keyed `(file, lint name)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(file, lint) → count`, deterministically ordered.
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+impl Baseline {
+    /// Captures a scan's findings as a new baseline.
+    pub fn from_scan(result: &ScanResult) -> Baseline {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for (path, finding) in result.findings() {
+            *entries
+                .entry((path.to_owned(), finding.lint.name().to_owned()))
+                .or_default() += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the text is not valid JSON or not a
+    /// baseline document.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        if doc.get("tool").and_then(Json::as_str) != Some("jouppi-lint-baseline") {
+            return Err("baseline must carry \"tool\": \"jouppi-lint-baseline\"".to_owned());
+        }
+        let list = doc
+            .get("grandfathered")
+            .and_then(Json::as_arr)
+            .ok_or("baseline must carry a \"grandfathered\" array")?;
+        let mut entries = BTreeMap::new();
+        for item in list {
+            let file = item
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or("baseline entry missing \"file\"")?;
+            let lint = item
+                .get("lint")
+                .and_then(Json::as_str)
+                .ok_or("baseline entry missing \"lint\"")?;
+            let count = item
+                .get("count")
+                .and_then(Json::as_i64)
+                .filter(|&n| n > 0)
+                .ok_or("baseline entry needs a positive \"count\"")?;
+            if entries
+                .insert((file.to_owned(), lint.to_owned()), count as u64)
+                .is_some()
+            {
+                return Err(format!("duplicate baseline entry for {file} / {lint}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Encodes the baseline as a deterministic document (entries sorted
+    /// by `(file, lint)`).
+    pub fn encode(&self) -> String {
+        let list: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|((file, lint), count)| {
+                Json::obj([
+                    ("file", Json::str(file.clone())),
+                    ("lint", Json::str(lint.clone())),
+                    ("count", Json::Int(*count as i64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("tool", Json::str("jouppi-lint-baseline")),
+            ("version", Json::Int(1)),
+            ("grandfathered", Json::Arr(list)),
+        ])
+        .encode()
+    }
+}
+
+/// The verdict of holding a scan against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Ratchet {
+    /// `(file, lint, baseline count, scan count)` where the scan
+    /// exceeds the baseline: new findings.
+    pub new: Vec<(String, String, u64, u64)>,
+    /// `(file, lint, baseline count, scan count)` where the scan fell
+    /// below the baseline: stale entries to regenerate away.
+    pub stale: Vec<(String, String, u64, u64)>,
+}
+
+impl Ratchet {
+    /// Whether the scan is exactly at the baseline.
+    pub fn is_ok(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Holds a scan against the baseline (see the module docs for the
+/// ratchet rules).
+pub fn compare(baseline: &Baseline, scan: &ScanResult) -> Ratchet {
+    let current = Baseline::from_scan(scan);
+    let mut out = Ratchet::default();
+    for (key, &count) in &current.entries {
+        let base = baseline.entries.get(key).copied().unwrap_or(0);
+        if count > base {
+            out.new.push((key.0.clone(), key.1.clone(), base, count));
+        }
+    }
+    for (key, &base) in &baseline.entries {
+        let count = current.entries.get(key).copied().unwrap_or(0);
+        if count < base {
+            out.stale.push((key.0.clone(), key.1.clone(), base, count));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{Finding, LintId};
+    use crate::workspace::FileReport;
+
+    fn scan_with(counts: &[(&str, LintId, usize)]) -> ScanResult {
+        let files = counts
+            .iter()
+            .map(|&(path, lint, n)| FileReport {
+                rel_path: path.to_owned(),
+                findings: (0..n)
+                    .map(|i| Finding {
+                        line: i as u32 + 1,
+                        lint,
+                        message: "x".to_owned(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        ScanResult {
+            files,
+            timings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn encode_parse_round_trips() {
+        let scan = scan_with(&[
+            ("a.rs", LintId::SwallowedResult, 2),
+            ("b.rs", LintId::TruncatingCast, 1),
+        ]);
+        let baseline = Baseline::from_scan(&scan);
+        let parsed = Baseline::parse(&baseline.encode()).expect("round trip");
+        assert_eq!(parsed, baseline);
+        assert_eq!(
+            parsed.entries[&("a.rs".to_owned(), "swallowed-result".to_owned())],
+            2
+        );
+    }
+
+    #[test]
+    fn ratchet_flags_growth_and_shrinkage() {
+        let baseline = Baseline::from_scan(&scan_with(&[
+            ("a.rs", LintId::SwallowedResult, 2),
+            ("b.rs", LintId::TruncatingCast, 1),
+        ]));
+        // Exactly at baseline: ok.
+        let same = scan_with(&[
+            ("a.rs", LintId::SwallowedResult, 2),
+            ("b.rs", LintId::TruncatingCast, 1),
+        ]);
+        assert!(compare(&baseline, &same).is_ok());
+        // One more finding in a.rs: new.
+        let grown = scan_with(&[
+            ("a.rs", LintId::SwallowedResult, 3),
+            ("b.rs", LintId::TruncatingCast, 1),
+        ]);
+        let r = compare(&baseline, &grown);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].0, "a.rs");
+        assert!(r.stale.is_empty());
+        // b.rs paid its debt: stale entry must be regenerated away.
+        let paid = scan_with(&[("a.rs", LintId::SwallowedResult, 2)]);
+        let r = compare(&baseline, &paid);
+        assert!(r.new.is_empty());
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].0, "b.rs");
+        // A finding in a file the baseline has never seen: new.
+        let fresh = scan_with(&[
+            ("a.rs", LintId::SwallowedResult, 2),
+            ("b.rs", LintId::TruncatingCast, 1),
+            ("c.rs", LintId::LockOrder, 1),
+        ]);
+        let r = compare(&baseline, &fresh);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].1, "lock-order");
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse(
+            r#"{"tool":"jouppi-lint-baseline","grandfathered":[{"file":"a"}]}"#
+        )
+        .is_err());
+        assert!(Baseline::parse(
+            r#"{"tool":"jouppi-lint-baseline","grandfathered":
+               [{"file":"a","lint":"x","count":0}]}"#
+        )
+        .is_err());
+        let ok = Baseline::parse(r#"{"tool":"jouppi-lint-baseline","grandfathered":[]}"#)
+            .expect("empty baseline is fine");
+        assert!(ok.entries.is_empty());
+    }
+}

@@ -2,7 +2,19 @@
 //!
 //! Pipeline per file: lex → locate `#[cfg(test)]`/`#[test]` regions →
 //! parse suppression directives from comments → scan tokens for each
-//! active lint → apply suppressions → report unused directives.
+//! active v1 lint → parse the AST and run the v2 structural analyses →
+//! apply suppressions → report unused directives.
+//!
+//! # Single-file vs. workspace facts
+//!
+//! Most lints resolve within one file, but **lock-order** needs the
+//! whole crate's acquisition graph: an A→B edge in one file is only a
+//! deadlock when some other file holds B while taking A. So the checker
+//! has two entry points: [`check_source_facts`] returns the resolved
+//! findings *plus* the file's lock edges and its pending `lock-order`
+//! suppressions (for the workspace scan to finish the job), while
+//! [`check_source`] — the single-file convenience — resolves lock-order
+//! against the file's own edges alone.
 //!
 //! # Suppression directives
 //!
@@ -18,17 +30,107 @@
 //! a directive that suppresses nothing is `unused-suppression`. The
 //! separator before the reason may be `—`, `–`, `-`, or `:`.
 
+use std::time::{Duration, Instant};
+
+use crate::analyses::{self, LockEdge};
 use crate::lexer::{lex, Lexed, TokKind, Token};
 use crate::lint::{Finding, LintId};
+use crate::parser::parse;
 use crate::policy::{lints_for, FileContext};
 
+/// Everything the workspace scan needs from one file: its resolved
+/// findings plus the lock-order facts that only resolve crate-wide.
+#[derive(Clone, Debug, Default)]
+pub struct FileFacts {
+    /// Findings from every lint except lock-order, suppressed and
+    /// sorted.
+    pub findings: Vec<Finding>,
+    /// Nested-acquisition edges (outside test regions) for the crate's
+    /// lock graph.
+    pub lock_edges: Vec<LockEdge>,
+    /// Suppression directives naming `lock-order`, held open until the
+    /// crate graph resolves.
+    pub pending: Vec<PendingSuppression>,
+    /// Wall-clock cost per stage, for the `--timings` report.
+    pub timings: Vec<(&'static str, Duration)>,
+}
+
+/// A `lock-order` suppression awaiting crate-wide resolution.
+#[derive(Clone, Debug)]
+pub struct PendingSuppression {
+    /// Line of the directive comment.
+    pub line: u32,
+    /// Whether the directive is `allow-file`.
+    pub file_scope: bool,
+    /// For line directives: the line a finding must be on to match.
+    pub target_line: Option<u32>,
+    /// Whether the directive already suppressed something (its other
+    /// named lints may have matched in phase one).
+    pub used: bool,
+}
+
+impl PendingSuppression {
+    /// Whether this directive covers a lock-order finding on `line`.
+    pub fn covers(&self, line: u32) -> bool {
+        self.file_scope || self.target_line == Some(line)
+    }
+}
+
+/// The unused-suppression finding for a pending directive that never
+/// matched.
+pub fn unused_pending(p: &PendingSuppression) -> Finding {
+    Finding {
+        line: p.line,
+        lint: LintId::UnusedSuppression,
+        message: "suppression for `lock-order` matches no finding — delete it".to_owned(),
+    }
+}
+
 /// Checks one source file, returning findings sorted by line.
+/// Lock-order cycles are resolved against this file's edges alone; the
+/// workspace scan resolves them crate-wide instead.
 pub fn check_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
+    let mut facts = check_source_facts(ctx, src);
+    let tagged: Vec<(String, LockEdge)> = facts
+        .lock_edges
+        .iter()
+        .map(|e| (ctx.rel_path.clone(), e.clone()))
+        .collect();
+    for (_, finding) in analyses::lock_order_findings(&tagged) {
+        if !suppress_pending(&mut facts.pending, finding.line) {
+            facts.findings.push(finding);
+        }
+    }
+    for p in &facts.pending {
+        if !p.used {
+            facts.findings.push(unused_pending(p));
+        }
+    }
+    facts.findings.sort_by_key(|f| (f.line, f.lint.name()));
+    facts.findings
+}
+
+/// Marks the first pending suppression covering `line` used; returns
+/// whether one matched.
+pub fn suppress_pending(pending: &mut [PendingSuppression], line: u32) -> bool {
+    for p in pending.iter_mut() {
+        if p.covers(line) {
+            p.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Checks one source file, returning findings plus cross-file facts.
+pub fn check_source_facts(ctx: &FileContext, src: &str) -> FileFacts {
     let active = lints_for(ctx);
     if active.is_empty() {
         // Test files: nothing applies, including directive hygiene.
-        return Vec::new();
+        return FileFacts::default();
     }
+    let mut timings = Vec::new();
+    let t0 = Instant::now();
     let lexed = lex(src);
     let test_ranges = test_regions(&lexed.tokens);
     let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
@@ -37,6 +139,32 @@ pub fn check_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
 
     for &lint in &active {
         scan_lint(lint, ctx, &lexed, &in_test, &mut findings);
+    }
+    timings.push(("lex+v1-lints", t0.elapsed()));
+
+    let needs_ast = active.iter().any(|l| {
+        matches!(
+            l,
+            LintId::LockOrder
+                | LintId::BlockingUnderLock
+                | LintId::UnboundedGrowth
+                | LintId::SwallowedResult
+                | LintId::TruncatingCast
+        )
+    });
+    let mut lock_edges = Vec::new();
+    if needs_ast {
+        let t0 = Instant::now();
+        let ast = parse(&lexed);
+        timings.push(("parse", t0.elapsed()));
+        let out = analyses::run(ctx, &active, &ast);
+        findings.extend(out.findings.into_iter().filter(|f| !in_test(f.line)));
+        lock_edges = out
+            .lock_edges
+            .into_iter()
+            .filter(|e| !in_test(e.line))
+            .collect();
+        timings.extend(out.timings);
     }
 
     // Apply suppressions to suppressible findings.
@@ -55,8 +183,18 @@ pub fn check_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
         true
     });
 
+    // Directives naming lock-order stay pending — their findings only
+    // materialize once the crate's whole lock graph is assembled.
+    let mut pending = Vec::new();
     for d in &directives {
-        if !d.used {
+        if d.lints.contains(&LintId::LockOrder) {
+            pending.push(PendingSuppression {
+                line: d.line,
+                file_scope: d.file_scope,
+                target_line: d.target_line,
+                used: d.used,
+            });
+        } else if !d.used {
             findings.push(Finding {
                 line: d.line,
                 lint: LintId::UnusedSuppression,
@@ -73,7 +211,12 @@ pub fn check_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
     }
 
     findings.sort_by_key(|f| (f.line, f.lint.name()));
-    findings
+    FileFacts {
+        findings,
+        lock_edges,
+        pending,
+        timings,
+    }
 }
 
 /// A parsed, well-formed suppression directive.
@@ -442,7 +585,15 @@ fn scan_lint(
                 }
             }
         }
-        LintId::BadSuppression | LintId::UnusedSuppression => {}
+        // The v2 structural analyses run on the AST (see
+        // `crate::analyses`), not the token stream.
+        LintId::LockOrder
+        | LintId::BlockingUnderLock
+        | LintId::UnboundedGrowth
+        | LintId::SwallowedResult
+        | LintId::TruncatingCast
+        | LintId::BadSuppression
+        | LintId::UnusedSuppression => {}
     }
 }
 

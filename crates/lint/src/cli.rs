@@ -5,22 +5,30 @@
 //! code stays print-free (the `debug-print` lint applies to this crate
 //! too — binaries do the printing).
 
+use std::fs;
 use std::path::PathBuf;
 
-use crate::report;
+use crate::baseline::{compare, Baseline};
+use crate::report::{self, BaselineStatus};
 use crate::workspace::{find_root, scan_files, scan_workspace};
 
 /// Usage text for `--help`.
 pub const USAGE: &str = "\
 usage: jouppi-lint [OPTIONS] [FILES...]
-  --workspace      lint the whole workspace (default when no FILES given)
-  --root DIR       workspace root (default: nearest [workspace] Cargo.toml)
-  --json           machine-readable report on stdout
-  --list           print the lint catalog and exit
-  --help           show this message
+  --workspace        lint the whole workspace (default when no FILES given)
+  --root DIR         workspace root (default: nearest [workspace] Cargo.toml)
+  --json             machine-readable report on stdout
+  --baseline FILE    ratchet mode: findings beyond FILE's grandfathered
+                     counts fail, and entries the tree has outgrown fail
+                     as stale until the baseline is regenerated
+  --write-baseline   capture the current findings into --baseline FILE
+  --timings          per-analysis wall-clock cost on stderr
+  --list             print the lint catalog and exit
+  --help             show this message
 
-FILES are workspace-relative .rs paths; exit status is 0 when clean,
-1 when findings exist, 2 on usage or I/O errors.";
+FILES are workspace-relative .rs paths; exit status is 0 when clean
+(or exactly at the baseline), 1 when findings exist (or the ratchet
+fails), 2 on usage or I/O errors.";
 
 /// What a CLI invocation produced.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -47,11 +55,20 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
     let mut root_override: Option<PathBuf> = None;
     let mut files: Vec<String> = Vec::new();
     let mut workspace = false;
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline = false;
+    let mut want_timings = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = Some(path),
+                None => return error("--baseline needs a file path"),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--timings" => want_timings = true,
             "--list" => {
                 return CliResult {
                     stdout: report::catalog(),
@@ -79,6 +96,9 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
     if workspace && !files.is_empty() {
         return error("--workspace and explicit FILES are mutually exclusive");
     }
+    if write_baseline && baseline_path.is_none() {
+        return error("--write-baseline needs --baseline FILE for the destination");
+    }
     let root = match root_override {
         Some(dir) => dir,
         None => {
@@ -101,16 +121,61 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
         Ok(r) => r,
         Err(e) => return error(format!("scan failed under {}: {e}", root.display())),
     };
+    let mut stderr = String::new();
+    if want_timings {
+        stderr.push_str(&report::timings(&result));
+    }
+
+    if let Some(rel) = baseline_path {
+        let path = root.join(&rel);
+        if write_baseline {
+            let doc = Baseline::from_scan(&result).encode() + "\n";
+            return match fs::write(&path, doc) {
+                Ok(()) => CliResult {
+                    stdout: format!(
+                        "jouppi-lint: wrote baseline {rel} — {} findings grandfathered\n",
+                        result.total_findings()
+                    ),
+                    stderr,
+                    code: 0,
+                },
+                Err(e) => error(format!("cannot write baseline {}: {e}", path.display())),
+            };
+        }
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return error(format!("cannot read baseline {}: {e}", path.display())),
+        };
+        let base = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return error(format!("{rel}: {e}")),
+        };
+        let ratchet = compare(&base, &result);
+        let status = BaselineStatus {
+            path: &rel,
+            grandfathered: base.entries.values().sum(),
+            ratchet: &ratchet,
+        };
+        let stdout = if json {
+            report::to_json(&result, Some(&status)).encode() + "\n"
+        } else {
+            report::human(&result, Some(&status))
+        };
+        return CliResult {
+            stdout,
+            stderr,
+            code: u8::from(!ratchet.is_ok()),
+        };
+    }
+
     let stdout = if json {
-        let mut text = report::to_json(&result).encode();
-        text.push('\n');
-        text
+        report::to_json(&result, None).encode() + "\n"
     } else {
-        report::human(&result)
+        report::human(&result, None)
     };
     CliResult {
         stdout,
-        stderr: String::new(),
+        stderr,
         code: u8::from(!result.is_clean()),
     }
 }

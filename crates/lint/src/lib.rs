@@ -14,12 +14,22 @@
 //! * [`lexer`] — a hand-rolled Rust lexer (comments, strings, raw
 //!   strings, char/byte literals, lifetimes), so lint patterns are
 //!   matched against *code tokens* only, never text inside literals;
+//! * [`parser`] — a tolerant recursive-descent parser recovering just
+//!   enough structure (items, blocks, statements, chains) for the
+//!   syntax-aware analyses;
 //! * [`lint`] — the catalog of enforced invariants;
 //! * [`policy`] — the per-crate table mapping files to active lints;
 //! * [`check`] — the per-file checker, including `#[cfg(test)]` region
 //!   exemption and the suppression-directive engine;
-//! * [`workspace`] — deterministic workspace walking;
-//! * [`report`] — human `file:line` output and the `--json` document;
+//! * [`analyses`] — the structural analyses (lock-order,
+//!   blocking-under-lock, unbounded-growth, swallowed-result,
+//!   truncating-cast) walking the parsed AST;
+//! * [`workspace`] — deterministic workspace walking, including the
+//!   crate-wide lock-order resolution phase;
+//! * [`baseline`] — the `lint-baseline.json` ratchet (grandfathered
+//!   findings may only shrink);
+//! * [`report`] — human `file:line` output, the `--json` document, and
+//!   the `--timings` breakdown;
 //! * [`cli`] — the driver shared by the `jouppi-lint` binary and the
 //!   `jouppi lint` subcommand.
 //!
@@ -47,10 +57,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyses;
+pub mod baseline;
 pub mod check;
 pub mod cli;
 pub mod lexer;
 pub mod lint;
+pub mod parser;
 pub mod policy;
 pub mod report;
 pub mod workspace;

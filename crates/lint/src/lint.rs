@@ -23,6 +23,21 @@ pub enum LintId {
     /// `Ordering::Relaxed` in crates whose cross-thread counters feed
     /// reported results.
     RelaxedOrdering,
+    /// A cycle in the per-crate graph of nested lock acquisitions
+    /// (potential deadlock).
+    LockOrder,
+    /// A blocking call (`recv`, `join`, `sleep`, socket I/O, …) while a
+    /// lock guard is live in scope.
+    BlockingUnderLock,
+    /// Long-lived server/sweep collection state that only grows —
+    /// no eviction, pruning, or capacity path anywhere in the file.
+    UnboundedGrowth,
+    /// A `Result` discarded with `let _ =` or a bare trailing `.ok()` in
+    /// non-test code.
+    SwallowedResult,
+    /// An `as` cast to a narrower integer type on a computed value
+    /// feeding counters or JSON results.
+    TruncatingCast,
     /// A malformed suppression directive (unknown lint, missing reason).
     BadSuppression,
     /// A suppression directive that matched no finding.
@@ -30,7 +45,7 @@ pub enum LintId {
 }
 
 /// Every catalog entry, in reporting order.
-pub const ALL_LINTS: [LintId; 9] = [
+pub const ALL_LINTS: [LintId; 14] = [
     LintId::AmbientTime,
     LintId::AmbientRng,
     LintId::DefaultHasher,
@@ -38,6 +53,11 @@ pub const ALL_LINTS: [LintId; 9] = [
     LintId::ForbidUnsafe,
     LintId::DebugPrint,
     LintId::RelaxedOrdering,
+    LintId::LockOrder,
+    LintId::BlockingUnderLock,
+    LintId::UnboundedGrowth,
+    LintId::SwallowedResult,
+    LintId::TruncatingCast,
     LintId::BadSuppression,
     LintId::UnusedSuppression,
 ];
@@ -53,6 +73,11 @@ impl LintId {
             LintId::ForbidUnsafe => "forbid-unsafe",
             LintId::DebugPrint => "debug-print",
             LintId::RelaxedOrdering => "relaxed-ordering",
+            LintId::LockOrder => "lock-order",
+            LintId::BlockingUnderLock => "blocking-under-lock",
+            LintId::UnboundedGrowth => "unbounded-growth",
+            LintId::SwallowedResult => "swallowed-result",
+            LintId::TruncatingCast => "truncating-cast",
             LintId::BadSuppression => "bad-suppression",
             LintId::UnusedSuppression => "unused-suppression",
         }
@@ -93,6 +118,28 @@ impl LintId {
             LintId::RelaxedOrdering => {
                 "Ordering::Relaxed on counters that feed reported results needs a written \
                  justification (fetch_add totals are exact, cross-variable ordering is not)"
+            }
+            LintId::LockOrder => {
+                "nested lock acquisitions must form a cycle-free order per crate — a cycle \
+                 (A held while taking B, B held while taking A) is a potential deadlock"
+            }
+            LintId::BlockingUnderLock => {
+                "no blocking call (recv/join/sleep/accept/connect/read/write) while a lock \
+                 guard is live — drop the guard first, or the lock convoys every thread"
+            }
+            LintId::UnboundedGrowth => {
+                "long-lived collection state in serve/experiments must have an eviction, \
+                 pruning, or capacity path — push/insert with no shrink leaks under load"
+            }
+            LintId::SwallowedResult => {
+                "no `let _ = …` or bare trailing `.ok()` discarding a call's Result in \
+                 non-test code — handle the error, propagate it, or suppress with the reason \
+                 the failure is benign"
+            }
+            LintId::TruncatingCast => {
+                "no `as` cast to a narrower integer on computed values that feed /metrics \
+                 counters or JSON results — use try_from so overflow is an error, not a \
+                 silent wrap"
             }
             LintId::BadSuppression => {
                 "suppression directives must name a known lint and carry a non-empty reason"

@@ -5,16 +5,19 @@
 //! (library module, binary, crate root, test), and [`lints_for`] maps
 //! that context to the set of active lints:
 //!
-//! | crate | determinism (time/rng/hasher) | serve-panic | relaxed-ordering |
-//! |---|---|---|---|
-//! | trace, cache, core, workloads, system, experiments, jouppi (root) | ✔ | | experiments only |
-//! | serve | | ✔ | ✔ |
-//! | report, bench, cli, lint | | | |
+//! | crate | determinism (time/rng/hasher) | serve-panic | relaxed-ordering | unbounded-growth | truncating-cast |
+//! |---|---|---|---|---|---|
+//! | trace, cache, core, workloads, system, jouppi (root) | ✔ | | | | |
+//! | experiments | ✔ | | ✔ | ✔ | ✔ |
+//! | serve | | ✔ | ✔ | ✔ | ✔ |
+//! | cli, bench, report | | | | | ✔ |
+//! | lint | | | | | |
 //!
-//! `forbid-unsafe` applies to every crate root; `debug-print` applies to
-//! all non-binary library code (plus `dbg!` in binaries too). Files under
-//! a `tests/` directory and `#[cfg(test)]` regions are exempt from
-//! everything — tests may unwrap and print freely.
+//! `forbid-unsafe` applies to every crate root; `debug-print`,
+//! `lock-order`, `blocking-under-lock`, and `swallowed-result` apply to
+//! all non-test code everywhere. Files under a `tests/` directory and
+//! `#[cfg(test)]` regions are exempt from everything — tests may unwrap,
+//! print, and block freely.
 
 use crate::lint::LintId;
 
@@ -101,6 +104,23 @@ pub fn lints_for(ctx: &FileContext) -> Vec<LintId> {
         lints.push(LintId::ForbidUnsafe);
     }
     lints.push(LintId::DebugPrint);
+    // v2 structural analyses. The concurrency and Result-discipline
+    // lints apply everywhere; growth tracking targets the long-lived
+    // daemons (serve) and sweep state (experiments); cast tracking
+    // targets the layers that decode wire/flag values and encode
+    // counters.
+    lints.push(LintId::LockOrder);
+    lints.push(LintId::BlockingUnderLock);
+    lints.push(LintId::SwallowedResult);
+    if ctx.crate_name == "serve" || ctx.crate_name == "experiments" {
+        lints.push(LintId::UnboundedGrowth);
+    }
+    if matches!(
+        ctx.crate_name.as_str(),
+        "serve" | "cli" | "bench" | "report" | "experiments"
+    ) {
+        lints.push(LintId::TruncatingCast);
+    }
     lints
 }
 
@@ -160,6 +180,41 @@ mod tests {
 
         let report = classify("crates/report/src/table.rs").expect("report");
         let lints = lints_for(&report);
-        assert_eq!(lints, vec![LintId::DebugPrint]);
+        assert_eq!(
+            lints,
+            vec![
+                LintId::DebugPrint,
+                LintId::LockOrder,
+                LintId::BlockingUnderLock,
+                LintId::SwallowedResult,
+                LintId::TruncatingCast,
+            ]
+        );
+    }
+
+    #[test]
+    fn v2_analyses_follow_the_table() {
+        let serve = classify("crates/serve/src/queue.rs").expect("serve");
+        let lints = lints_for(&serve);
+        for lint in [
+            LintId::LockOrder,
+            LintId::BlockingUnderLock,
+            LintId::SwallowedResult,
+            LintId::UnboundedGrowth,
+            LintId::TruncatingCast,
+        ] {
+            assert!(lints.contains(&lint), "serve should run {lint}");
+        }
+
+        let sim = classify("crates/cache/src/lru.rs").expect("sim");
+        let lints = lints_for(&sim);
+        assert!(lints.contains(&LintId::LockOrder));
+        assert!(!lints.contains(&LintId::UnboundedGrowth));
+        assert!(!lints.contains(&LintId::TruncatingCast));
+
+        let exp = classify("crates/experiments/src/sweep.rs").expect("experiments");
+        let lints = lints_for(&exp);
+        assert!(lints.contains(&LintId::UnboundedGrowth));
+        assert!(lints.contains(&LintId::TruncatingCast));
     }
 }

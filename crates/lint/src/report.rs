@@ -3,12 +3,26 @@
 
 use jouppi_serve::json::Json;
 
+use crate::baseline::Ratchet;
 use crate::lint::ALL_LINTS;
 use crate::workspace::ScanResult;
 
+/// Baseline-ratchet status rendered into reports when `--baseline` is
+/// in effect.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineStatus<'a> {
+    /// The baseline file, as given on the command line.
+    pub path: &'a str,
+    /// Total grandfathered finding count in the baseline.
+    pub grandfathered: u64,
+    /// The scan-vs-baseline verdict.
+    pub ratchet: &'a Ratchet,
+}
+
 /// Human-readable report: one `file:line: [lint] message` line per
-/// finding plus a summary line.
-pub fn human(result: &ScanResult) -> String {
+/// finding plus summary lines (and the ratchet verdict, with a
+/// baseline).
+pub fn human(result: &ScanResult, baseline: Option<&BaselineStatus<'_>>) -> String {
     let mut out = String::new();
     for (path, finding) in result.findings() {
         out.push_str(&format!(
@@ -31,11 +45,34 @@ pub fn human(result: &ScanResult) -> String {
             s = if n == 1 { "" } else { "s" }
         ));
     }
+    if let Some(b) = baseline {
+        for (file, lint, base, now) in &b.ratchet.new {
+            out.push_str(&format!(
+                "baseline: NEW {file} [{lint}] — {now} findings, baseline allows {base}; \
+                 fix them or suppress with a reasoned directive\n"
+            ));
+        }
+        for (file, lint, base, now) in &b.ratchet.stale {
+            out.push_str(&format!(
+                "baseline: STALE {file} [{lint}] — baseline grandfathers {base}, only {now} \
+                 remain; regenerate with --write-baseline to lock in the progress\n"
+            ));
+        }
+        out.push_str(&format!(
+            "jouppi-lint: baseline {path} — {g} grandfathered, {new} new, {stale} stale: {verdict}\n",
+            path = b.path,
+            g = b.grandfathered,
+            new = b.ratchet.new.len(),
+            stale = b.ratchet.stale.len(),
+            verdict = if b.ratchet.is_ok() { "ok" } else { "FAIL" },
+        ));
+    }
     out
 }
 
-/// Machine-readable report document.
-pub fn to_json(result: &ScanResult) -> Json {
+/// Machine-readable report document (version 2: adds the optional
+/// `baseline` section and the v2 analysis catalog).
+pub fn to_json(result: &ScanResult, baseline: Option<&BaselineStatus<'_>>) -> Json {
     let findings: Vec<Json> = result
         .findings()
         .map(|(path, f)| {
@@ -47,13 +84,55 @@ pub fn to_json(result: &ScanResult) -> Json {
             ])
         })
         .collect();
-    Json::obj([
-        ("tool", Json::str("jouppi-lint")),
-        ("version", Json::Int(1)),
-        ("files_scanned", Json::Int(result.files_scanned() as i64)),
-        ("findings", Json::Arr(findings)),
-        ("clean", Json::Bool(result.is_clean())),
-    ])
+    let mut fields = vec![
+        ("tool".to_owned(), Json::str("jouppi-lint")),
+        ("version".to_owned(), Json::Int(2)),
+        (
+            "files_scanned".to_owned(),
+            Json::Int(result.files_scanned() as i64),
+        ),
+        ("findings".to_owned(), Json::Arr(findings)),
+        ("clean".to_owned(), Json::Bool(result.is_clean())),
+    ];
+    if let Some(b) = baseline {
+        let entry = |(file, lint, base, now): &(String, String, u64, u64)| {
+            Json::obj([
+                ("file", Json::str(file.clone())),
+                ("lint", Json::str(lint.clone())),
+                ("baseline", Json::Int(*base as i64)),
+                ("current", Json::Int(*now as i64)),
+            ])
+        };
+        fields.push((
+            "baseline".to_owned(),
+            Json::obj([
+                ("path", Json::str(b.path)),
+                ("grandfathered", Json::Int(b.grandfathered as i64)),
+                ("new", Json::Arr(b.ratchet.new.iter().map(entry).collect())),
+                (
+                    "stale",
+                    Json::Arr(b.ratchet.stale.iter().map(entry).collect()),
+                ),
+                ("ok", Json::Bool(b.ratchet.is_ok())),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// The `--timings` text: aggregate per-stage wall-clock cost.
+pub fn timings(result: &ScanResult) -> String {
+    let mut out = String::from("jouppi-lint timings:\n");
+    let total: std::time::Duration = result.timings.iter().map(|(_, d)| *d).sum();
+    for (stage, d) in &result.timings {
+        out.push_str(&format!("  {stage:<20} {:>9.3}ms\n", d.as_secs_f64() * 1e3));
+    }
+    out.push_str(&format!(
+        "  {:<20} {:>9.3}ms\n",
+        "total",
+        total.as_secs_f64() * 1e3
+    ));
+    out
 }
 
 /// The `--list` catalog text.
@@ -91,12 +170,13 @@ mod tests {
                     findings: Vec::new(),
                 },
             ],
+            timings: Vec::new(),
         }
     }
 
     #[test]
     fn human_report_lists_findings_and_summary() {
-        let text = human(&sample());
+        let text = human(&sample(), None);
         assert!(text.contains("crates/core/src/x.rs:7: [ambient-time]"));
         assert!(text.contains("1 finding in 2 files"));
         let clean = ScanResult {
@@ -104,16 +184,19 @@ mod tests {
                 rel_path: "a.rs".to_owned(),
                 findings: Vec::new(),
             }],
+            timings: Vec::new(),
         };
-        assert!(human(&clean).contains("clean — 1 files, 0 findings"));
+        assert!(human(&clean, None).contains("clean — 1 files, 0 findings"));
     }
 
     #[test]
     fn json_report_round_trips() {
-        let doc = to_json(&sample());
+        let doc = to_json(&sample(), None);
         let parsed = Json::parse(&doc.encode()).expect("valid JSON");
         assert_eq!(parsed.get("clean"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get("version"), Some(&Json::Int(2)));
         assert_eq!(parsed.get("files_scanned"), Some(&Json::Int(2)));
+        assert!(parsed.get("baseline").is_none());
         let findings = parsed
             .get("findings")
             .and_then(Json::as_arr)
@@ -121,6 +204,61 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].get("line"), Some(&Json::Int(7)));
         assert_eq!(findings[0].get("lint"), Some(&Json::str("ambient-time")));
+    }
+
+    #[test]
+    fn baseline_status_renders_in_both_formats() {
+        let ratchet = Ratchet {
+            new: vec![("a.rs".to_owned(), "swallowed-result".to_owned(), 1, 2)],
+            stale: vec![("b.rs".to_owned(), "truncating-cast".to_owned(), 2, 1)],
+        };
+        let status = BaselineStatus {
+            path: "lint-baseline.json",
+            grandfathered: 3,
+            ratchet: &ratchet,
+        };
+        let text = human(&sample(), Some(&status));
+        assert!(text.contains("baseline: NEW a.rs [swallowed-result]"));
+        assert!(text.contains("baseline: STALE b.rs [truncating-cast]"));
+        assert!(text.contains("1 new, 1 stale: FAIL"));
+
+        let doc = to_json(&sample(), Some(&status));
+        let parsed = Json::parse(&doc.encode()).expect("valid JSON");
+        let b = parsed.get("baseline").expect("baseline section");
+        assert_eq!(b.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(b.get("grandfathered"), Some(&Json::Int(3)));
+        assert_eq!(
+            b.get("new").and_then(Json::as_arr).map(|a| a.len()),
+            Some(1)
+        );
+        assert_eq!(
+            b.get("stale").and_then(Json::as_arr).map(|a| a.len()),
+            Some(1)
+        );
+
+        // A clean ratchet reports ok even with grandfathered findings.
+        let ok = Ratchet::default();
+        let status = BaselineStatus {
+            path: "lint-baseline.json",
+            grandfathered: 3,
+            ratchet: &ok,
+        };
+        assert!(human(&sample(), Some(&status)).contains("0 new, 0 stale: ok"));
+    }
+
+    #[test]
+    fn timings_text_totals_the_stages() {
+        use std::time::Duration;
+        let mut r = sample();
+        r.timings = vec![
+            ("guard-scan", Duration::from_millis(2)),
+            ("parse", Duration::from_millis(3)),
+        ];
+        let text = timings(&r);
+        assert!(text.contains("guard-scan"));
+        assert!(text.contains("parse"));
+        assert!(text.contains("total"));
+        assert!(text.contains("5.000ms"));
     }
 
     #[test]

@@ -1,10 +1,22 @@
 //! Workspace discovery and the full-tree scan.
+//!
+//! The scan runs in two phases. Phase one checks each file
+//! independently ([`crate::check::check_source_facts`]), collecting
+//! findings plus each file's lock-acquisition edges and pending
+//! `lock-order` suppressions. Phase two assembles the edges into one
+//! graph *per crate* (lock identities are textual — `self.inner` in two
+//! crates is two different locks), reports every edge that participates
+//! in a cycle, routes those findings back to the files that produced the
+//! edges, and settles the pending suppressions.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
-use crate::check::check_source;
+use crate::analyses::{lock_order_findings, LockEdge};
+use crate::check::{check_source_facts, suppress_pending, unused_pending};
 use crate::lint::Finding;
 use crate::policy::classify;
 
@@ -26,6 +38,9 @@ pub struct ScanResult {
     /// Per-file reports, sorted by path; clean files are included with
     /// empty findings so `files_scanned` is auditable.
     pub files: Vec<FileReport>,
+    /// Aggregate wall-clock cost per analysis stage across all files,
+    /// sorted by stage name (for `--timings`).
+    pub timings: Vec<(&'static str, Duration)>,
 }
 
 impl ScanResult {
@@ -87,16 +102,58 @@ pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
 /// Propagates I/O failures reading the files.
 pub fn scan_files(root: &Path, rel_paths: &[String]) -> io::Result<ScanResult> {
     let mut result = ScanResult::default();
+    let mut timings: BTreeMap<&'static str, Duration> = BTreeMap::new();
+    // Phase one: per-file checks; park each file's cross-file facts.
+    // Indices into `result.files` parallel `pendings`; `crate_edges`
+    // tags every edge with the index of the file that produced it.
+    let mut pendings = Vec::new();
+    let mut crate_edges: BTreeMap<String, Vec<(usize, LockEdge)>> = BTreeMap::new();
     for rel in rel_paths {
         let Some(ctx) = classify(rel) else {
             continue;
         };
         let src = fs::read_to_string(root.join(rel))?;
+        let facts = check_source_facts(&ctx, &src);
+        let file_index = result.files.len();
+        for (stage, d) in facts.timings {
+            *timings.entry(stage).or_default() += d;
+        }
+        crate_edges
+            .entry(ctx.crate_name.clone())
+            .or_default()
+            .extend(facts.lock_edges.into_iter().map(|e| (file_index, e)));
+        pendings.push(facts.pending);
         result.files.push(FileReport {
             rel_path: rel.clone(),
-            findings: check_source(&ctx, &src),
+            findings: facts.findings,
         });
     }
+    // Phase two: resolve lock-order per crate and settle suppressions.
+    let t0 = Instant::now();
+    for edges in crate_edges.values() {
+        let tagged: Vec<(String, LockEdge)> = edges
+            .iter()
+            .map(|(i, e)| (result.files[*i].rel_path.clone(), e.clone()))
+            .collect();
+        for (edge_index, finding) in lock_order_findings(&tagged) {
+            let file_index = edges[edge_index].0;
+            if !suppress_pending(&mut pendings[file_index], finding.line) {
+                result.files[file_index].findings.push(finding);
+            }
+        }
+    }
+    for (file_index, pending) in pendings.iter().enumerate() {
+        for p in pending {
+            if !p.used {
+                result.files[file_index].findings.push(unused_pending(p));
+            }
+        }
+        result.files[file_index]
+            .findings
+            .sort_by_key(|f| (f.line, f.lint.name()));
+    }
+    *timings.entry("lock-order-resolve").or_default() += t0.elapsed();
+    result.timings = timings.into_iter().collect();
     Ok(result)
 }
 

@@ -1,0 +1,11 @@
+//! Fixture: a channel receive — which can block indefinitely — while a
+//! mutex guard is live, stalling every other thread that wants the lock.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(m: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    let mut held = m.lock().unwrap_or_else(|e| e.into_inner());
+    let v = rx.recv().unwrap_or(0);
+    held.push(v);
+}

@@ -1,0 +1,11 @@
+//! Fixture: the blocking receive happens first; the lock is taken only
+//! for the short critical section that needs it.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(m: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    let v = rx.recv().unwrap_or(0);
+    let mut held = m.lock().unwrap_or_else(|e| e.into_inner());
+    held.push(v);
+}

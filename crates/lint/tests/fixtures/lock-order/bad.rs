@@ -1,0 +1,21 @@
+//! Fixture: the crate's lock graph has a cycle — `forward` nests
+//! `a` → `b` while `backward` nests `b` → `a`.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+pub fn forward(p: &Pair) -> u64 {
+    let a = p.a.lock().unwrap_or_else(|e| e.into_inner());
+    let b = p.b.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+pub fn backward(p: &Pair) -> u64 {
+    let b = p.b.lock().unwrap_or_else(|e| e.into_inner());
+    let a = p.a.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}

@@ -1,0 +1,21 @@
+//! Fixture: every function nests the locks in the same `a` → `b`
+//! order, so the crate's lock graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+pub fn forward(p: &Pair) -> u64 {
+    let a = p.a.lock().unwrap_or_else(|e| e.into_inner());
+    let b = p.b.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+pub fn also_forward(p: &Pair) -> u64 {
+    let a = p.a.lock().unwrap_or_else(|e| e.into_inner());
+    let b = p.b.lock().unwrap_or_else(|e| e.into_inner());
+    *a * *b
+}

@@ -1,0 +1,13 @@
+//! Fixture: one discard justified with a reason, the other propagated.
+
+use std::fs;
+use std::path::Path;
+
+pub fn cleanup(path: &Path) {
+    // jouppi-lint: allow(swallowed-result) — best-effort temp-file cleanup; the file being gone already is success
+    let _ = fs::remove_file(path);
+}
+
+pub fn touch(path: &Path) -> std::io::Result<()> {
+    fs::write(path, b"x")
+}

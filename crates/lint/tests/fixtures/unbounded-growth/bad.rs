@@ -1,0 +1,12 @@
+//! Fixture: a long-lived collection in a daemon crate that only ever
+//! grows — every request leaks a little memory.
+
+pub struct Sessions {
+    log: Vec<u64>,
+}
+
+impl Sessions {
+    pub fn record(&mut self, id: u64) {
+        self.log.push(id);
+    }
+}

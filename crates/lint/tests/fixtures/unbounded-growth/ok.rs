@@ -1,0 +1,15 @@
+//! Fixture: the same log, bounded — old entries are evicted before new
+//! ones are recorded.
+
+pub struct Sessions {
+    log: Vec<u64>,
+}
+
+impl Sessions {
+    pub fn record(&mut self, id: u64) {
+        if self.log.len() >= 64 {
+            self.log.remove(0);
+        }
+        self.log.push(id);
+    }
+}

@@ -12,7 +12,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// (lint, fixture dir, path the fixture occupies in the temp workspace).
-const CASES: [(&str, &str, &str); 9] = [
+const CASES: [(&str, &str, &str); 14] = [
     ("ambient-time", "ambient-time", "crates/core/src/fixture.rs"),
     ("ambient-rng", "ambient-rng", "crates/core/src/fixture.rs"),
     (
@@ -37,6 +37,27 @@ const CASES: [(&str, &str, &str); 9] = [
         "unused-suppression",
         "unused-suppression",
         "crates/core/src/fixture.rs",
+    ),
+    ("lock-order", "lock-order", "crates/core/src/fixture.rs"),
+    (
+        "blocking-under-lock",
+        "blocking-under-lock",
+        "crates/core/src/fixture.rs",
+    ),
+    (
+        "unbounded-growth",
+        "unbounded-growth",
+        "crates/serve/src/fixture.rs",
+    ),
+    (
+        "swallowed-result",
+        "swallowed-result",
+        "crates/core/src/fixture.rs",
+    ),
+    (
+        "truncating-cast",
+        "truncating-cast",
+        "crates/serve/src/fixture.rs",
     ),
 ];
 
@@ -104,6 +125,51 @@ fn ok_fixtures_pass_clean() {
         assert!(r.stdout.contains("clean"), "{lint}: {}", r.stdout);
         let _ = fs::remove_dir_all(&root);
     }
+}
+
+/// The full baseline-ratchet lifecycle against a real temp workspace:
+/// capture, hold-at-baseline, catch a new finding, catch a stale entry.
+#[test]
+fn baseline_ratchet_golden() {
+    let rel_file = "crates/core/src/fixture.rs";
+    let root = temp_workspace("baseline", rel_file, &fixture("swallowed-result", "bad.rs"));
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "--root".to_owned(),
+            root.to_string_lossy().into_owned(),
+            "--workspace".to_owned(),
+        ];
+        args.extend(extra.iter().map(|s| (*s).to_owned()));
+        jouppi_lint::cli::run(args)
+    };
+    // Without a baseline the bad fixture fails.
+    assert_eq!(run(&[]).code, 1);
+    // Capture the debt...
+    let r = run(&["--baseline", "base.json", "--write-baseline"]);
+    assert_eq!(r.code, 0, "{}{}", r.stdout, r.stderr);
+    assert!(root.join("base.json").is_file());
+    // ...and the same tree now passes, reporting the ratchet verdict.
+    let r = run(&["--baseline", "base.json"]);
+    assert_eq!(r.code, 0, "{}{}", r.stdout, r.stderr);
+    assert!(r.stdout.contains("0 new, 0 stale: ok"), "{}", r.stdout);
+    // A third discard exceeds the grandfathered count: NEW, fail.
+    let grown = format!(
+        "{}\npub fn again(path: &Path) {{\n    let _ = fs::remove_file(path);\n}}\n",
+        fixture("swallowed-result", "bad.rs")
+    );
+    fs::write(root.join(rel_file), grown).expect("grow fixture");
+    let r = run(&["--baseline", "base.json"]);
+    assert_eq!(r.code, 1, "{}{}", r.stdout, r.stderr);
+    assert!(r.stdout.contains("baseline: NEW"), "{}", r.stdout);
+    // Paying the debt off makes the entry STALE until regenerated.
+    fs::write(root.join(rel_file), fixture("swallowed-result", "ok.rs")).expect("fix fixture");
+    let r = run(&["--baseline", "base.json"]);
+    assert_eq!(r.code, 1, "{}{}", r.stdout, r.stderr);
+    assert!(r.stdout.contains("baseline: STALE"), "{}", r.stdout);
+    let r = run(&["--baseline", "base.json", "--write-baseline"]);
+    assert_eq!(r.code, 0, "{}{}", r.stdout, r.stderr);
+    assert_eq!(run(&["--baseline", "base.json"]).code, 0);
+    let _ = fs::remove_dir_all(&root);
 }
 
 #[test]

@@ -87,7 +87,7 @@ pub struct Sampled {
 
 /// The registry: per-endpoint request counters and latency histograms.
 pub struct Registry {
-    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>, // jouppi-lint: allow(unbounded-growth) — keyed by (endpoint, status): both drawn from small finite sets, so the map tops out at a few dozen entries
     latency: BTreeMap<&'static str, Histogram>,
 }
 

@@ -162,9 +162,21 @@ fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, conns: &Arc<Mutex<Vec<Joi
 }
 
 fn handle_conn(stream: TcpStream, ctx: &Arc<Ctx>) {
+    handle_conn_with_tick(stream, ctx, TICK);
+}
+
+/// The connection loop behind [`handle_conn`]; the tick is a parameter
+/// so tests can exercise the refusal path with a timeout the OS rejects.
+fn handle_conn_with_tick(stream: TcpStream, ctx: &Arc<Ctx>, tick: Duration) {
+    // The tick timeout is load-bearing: without it `read_request` blocks
+    // indefinitely, so the idle and whole-request deadlines never fire
+    // and shutdown cannot interrupt the read. A socket that cannot arm
+    // it is closed, not served unprotected.
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
     ctx.connections.fetch_add(1, Ordering::SeqCst);
-    let _ = stream.set_read_timeout(Some(TICK));
-    let _ = stream.set_nodelay(true);
+    let _ = stream.set_nodelay(true); // jouppi-lint: allow(swallowed-result) — latency hint only; serving without TCP_NODELAY is still correct
     let mut conn = HttpConn::new(stream, ctx.cfg.limits);
     let mut idle_since = Instant::now();
     let mut request_deadline: Option<Instant> = None;
@@ -227,7 +239,7 @@ fn fail(
     status: u16,
     msg: &str,
 ) {
-    let _ = Response::error(status, msg).write_to(conn.inner_mut(), false);
+    let _ = Response::error(status, msg).write_to(conn.inner_mut(), false); // jouppi-lint: allow(swallowed-result) — best-effort farewell on a connection already being torn down
     ctx.metrics.observe(endpoint, status, 0.0);
 }
 
@@ -257,18 +269,55 @@ impl ServerHandle {
     pub fn shutdown(self) -> ShutdownStats {
         self.ctx.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.accept.join();
+        let _ = TcpStream::connect(self.addr); // jouppi-lint: allow(swallowed-result) — the connect only nudges accept() awake; a failure means the listener is already gone
+        let _ = self.accept.join(); // jouppi-lint: allow(swallowed-result) — Err means the thread panicked; shutdown must still drain the rest
         let handles = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
         for handle in handles {
-            let _ = handle.join();
+            let _ = handle.join(); // jouppi-lint: allow(swallowed-result) — Err means the thread panicked; shutdown must still drain the rest
         }
         self.ctx.queue.shutdown();
         for worker in self.workers {
-            let _ = worker.join();
+            let _ = worker.join(); // jouppi-lint: allow(swallowed-result) — Err means the thread panicked; shutdown must still drain the rest
         }
         ShutdownStats {
             jobs_completed: self.ctx.queue.stats().completed,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// Pins the fix for the swallowed `set_read_timeout` result: a
+    /// socket that cannot arm the tick timeout must be closed, never
+    /// served with unbounded blocking reads.
+    #[test]
+    fn unarmable_tick_timeout_refuses_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        let ctx = Arc::new(Ctx {
+            cfg: ServerConfig::default(),
+            queue: JobQueue::new(1),
+            metrics: Registry::new(),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+        // `set_read_timeout` documents that a zero duration is an
+        // `InvalidInput` error on every platform, so a zero tick drives
+        // the refusal path deterministically.
+        handle_conn_with_tick(stream, &ctx, Duration::ZERO);
+        // The connection was refused before being counted as open...
+        assert_eq!(ctx.open_connections(), 0);
+        // ...and the socket was closed rather than read without a
+        // timeout: the client sees immediate EOF, not a hung server.
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("client read timeout");
+        let mut buf = [0u8; 1];
+        assert_eq!(client.read(&mut buf).expect("clean close"), 0);
     }
 }

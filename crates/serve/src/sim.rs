@@ -44,7 +44,8 @@ pub(crate) fn get_u64(body: &Json, key: &str, default: u64) -> Result<u64, Strin
 }
 
 fn get_usize(body: &Json, key: &str, default: usize) -> Result<usize, String> {
-    get_u64(body, key, default as u64).map(|n| n as usize)
+    let n = get_u64(body, key, default as u64)?;
+    usize::try_from(n).map_err(|_| format!("'{key}' does not fit in usize"))
 }
 
 /// Parses the request body into `(config, workload, scale, seed, side,
