@@ -33,6 +33,9 @@ cargo test --release -q -p jouppi-serve --test integration
 
 echo "==> sweep-bench smoke: fused vs per-cell schedules must agree"
 ./target/release/sweep-bench --smoke
+
+echo "==> sweep-bench smoke: single-pass engines vs per-cell oracle"
+./target/release/sweep-bench --smoke --mode single_pass
 echo "    lint status: $(grep -q '"ok":true' /tmp/jouppi_lint_ci.json && echo "at baseline" || echo DIRTY) (jouppi-lint --workspace --json --baseline lint-baseline.json)"
 
 echo "==> refresh BENCH_sweep.json (timed sweep schedules)"

@@ -1,22 +1,29 @@
-//! Times full experiment sweeps under both sweep-engine schedules —
-//! `per_cell` (one task per configuration cell) and `fused` (one task
-//! per (benchmark, side) gang) — and writes `BENCH_sweep.json`.
+//! Times full experiment sweeps under the sweep-engine schedules —
+//! `per_cell` (one task per configuration cell), `fused` (one task per
+//! (benchmark, side) gang), and `single_pass` (one Mattson traversal
+//! answering every geometry at once) — and writes `BENCH_sweep.json`.
 //!
-//! Usage: `sweep-bench [--smoke] [SCALE] [OUT_PATH]`
+//! Usage: `sweep-bench [--smoke] [--mode MODE] [SCALE] [OUT_PATH]`
 //!
-//! * `--smoke` — run both schedules at a small scale and exit nonzero
-//!   if their results diverge; no report is written.
+//! * `--smoke` — cross-check the schedules at a small scale and exit
+//!   nonzero if any pair of engines diverges; no report is written.
+//! * `--mode MODE` — `all` (default) or `single_pass`, which restricts
+//!   both the smoke checks and the timed rows to the one-pass engine
+//!   comparisons (the geometry grid plus fig_3_1's stack-depth path).
 //! * `SCALE` — instructions per benchmark trace (default 60000).
 //! * `OUT_PATH` — where to write the JSON report (default
 //!   `BENCH_sweep.json` in the current directory).
 //!
 //! Traces are recorded once up front (the refs count needs them), so
 //! every timed run replays the memoized trace set — the numbers measure
-//! simulation throughput, not workload generation. Each sweep is timed
-//! per-cell at one thread, fused at one thread, and fused at two
-//! threads; `fig_3_1` is classification-only (its unit of work is
-//! already one (benchmark, side) cell), so its schedule is labeled
-//! `fused` and no per-cell row exists for it.
+//! simulation throughput, not workload generation. Refs are counted as
+//! *work delivered*: configuration cells covered × trace references.
+//! Per-cell schedules replay exactly that many references; the fused
+//! gangs and the single-pass engine deliver the same cells from fewer
+//! traversals, so their refs/s advantage is the point of the benchmark.
+//! `fig_3_1` is classification-only (its unit of work is already one
+//! (benchmark, side) cell), so its schedule is labeled `fused` and no
+//! per-cell row exists for it.
 
 #![forbid(unsafe_code)]
 
@@ -25,14 +32,15 @@ use std::time::Instant;
 
 use jouppi_bench::{bench_config, render_json, Measurement};
 use jouppi_experiments::common::{record_traces, ExperimentConfig};
-use jouppi_experiments::{conflict_sweep, fig_3_1, stream_sweep, sweep};
+use jouppi_experiments::{conflict_sweep, fig_3_1, single_pass, stream_sweep, sweep};
 use jouppi_workloads::Scale;
 
 fn time_sweep(
     name: &'static str,
     mode: &'static str,
     threads: usize,
-    refs: u64,
+    cells: u64,
+    total_trace_refs: u64,
     run: &dyn Fn(),
 ) -> Measurement {
     sweep::set_thread_count(threads);
@@ -45,11 +53,12 @@ fn time_sweep(
         sweep: name,
         mode,
         threads,
-        refs,
+        cells,
+        refs: cells * total_trace_refs,
         wall_ms,
     };
     eprintln!(
-        "{:>16} {:>9} ({} thread{}): {:>9.1} ms, {:>12.0} refs/s",
+        "{:>16} {:>11} ({} thread{}): {:>9.1} ms, {:>12.0} refs/s",
         m.sweep,
         m.mode,
         m.threads,
@@ -60,8 +69,9 @@ fn time_sweep(
     m
 }
 
-/// `--smoke`: both schedules at small scale, fail loudly on divergence.
-fn smoke() -> ExitCode {
+/// `--smoke`: cross-check the schedules at small scale, fail loudly on
+/// divergence. `single_pass_only` restricts to the one-pass engines.
+fn smoke(single_pass_only: bool) -> ExitCode {
     let cfg = ExperimentConfig::with_scale(8_000);
     let mut failures = 0usize;
     let mut check = |label: &str, ok: bool| {
@@ -70,30 +80,40 @@ fn smoke() -> ExitCode {
             failures += 1;
         }
     };
+    if !single_pass_only {
+        check(
+            "miss_cache_4: fused == per_cell",
+            conflict_sweep::run(&cfg, conflict_sweep::Mechanism::MissCache, 4)
+                == conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::MissCache, 4),
+        );
+        check(
+            "victim_cache_4: fused == per_cell",
+            conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 4)
+                == conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::VictimCache, 4),
+        );
+        check(
+            "stream_single_8: fused == per_cell",
+            stream_sweep::run(&cfg, 1, 8) == stream_sweep::run_per_cell(&cfg, 1, 8),
+        );
+        check(
+            "stream_four_8: fused == per_cell",
+            stream_sweep::run(&cfg, 4, 8) == stream_sweep::run_per_cell(&cfg, 4, 8),
+        );
+        check(
+            "fig_3_1: stable across repeat runs",
+            fig_3_1::run(&cfg) == fig_3_1::run(&cfg),
+        );
+    }
     check(
-        "miss_cache_4: fused == per_cell",
-        conflict_sweep::run(&cfg, conflict_sweep::Mechanism::MissCache, 4)
-            == conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::MissCache, 4),
+        "geometry_grid: single_pass == per_cell",
+        single_pass::run(&cfg) == single_pass::run_per_cell(&cfg),
     );
     check(
-        "victim_cache_4: fused == per_cell",
-        conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 4)
-            == conflict_sweep::run_per_cell(&cfg, conflict_sweep::Mechanism::VictimCache, 4),
-    );
-    check(
-        "stream_single_8: fused == per_cell",
-        stream_sweep::run(&cfg, 1, 8) == stream_sweep::run_per_cell(&cfg, 1, 8),
-    );
-    check(
-        "stream_four_8: fused == per_cell",
-        stream_sweep::run(&cfg, 4, 8) == stream_sweep::run_per_cell(&cfg, 4, 8),
-    );
-    check(
-        "fig_3_1: stable across repeat runs",
-        fig_3_1::run(&cfg) == fig_3_1::run(&cfg),
+        "fig_3_1: single_pass == classify",
+        fig_3_1::run_single_pass(&cfg) == fig_3_1::run(&cfg),
     );
     if failures == 0 {
-        eprintln!("smoke: fused and per-cell schedules agree");
+        eprintln!("smoke: all schedules agree");
         ExitCode::SUCCESS
     } else {
         eprintln!("smoke: {failures} divergence(s) between schedules");
@@ -102,22 +122,43 @@ fn smoke() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1).peekable();
-    if args.peek().map(String::as_str) == Some("--smoke") {
-        return smoke();
+    let mut smoke_run = false;
+    let mut mode = "all".to_owned();
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_run = true,
+            "--mode" => mode = args.next().expect("--mode needs a value"),
+            _ => positional.push(arg),
+        }
     }
+    let single_pass_only = match mode.as_str() {
+        "all" => false,
+        "single_pass" => true,
+        other => {
+            eprintln!("unknown --mode '{other}'; valid modes: all, single_pass");
+            return ExitCode::FAILURE;
+        }
+    };
+    if smoke_run {
+        return smoke(single_pass_only);
+    }
+    let mut positional = positional.into_iter();
     let mut cfg = bench_config();
-    if let Some(raw) = args.next() {
+    if let Some(raw) = positional.next() {
         let n: u64 = raw.parse().expect("SCALE must be an integer");
         cfg = ExperimentConfig {
             scale: Scale::new(n),
             ..cfg
         };
     }
-    let out = args.next().unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let out = positional
+        .next()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
 
     // Every replay of a cache side touches each of that side's references
-    // exactly once, so refs-per-sweep is (replays per side) × trace size.
+    // exactly once, so refs-per-sweep is (cells covered) × trace size.
     // This also warms the memoized trace store for the timed runs.
     let total: u64 = record_traces(&cfg)
         .iter()
@@ -125,6 +166,9 @@ fn main() -> ExitCode {
         .sum();
     let fig31 = || {
         fig_3_1::run(&cfg);
+    };
+    let fig31_single = || {
+        fig_3_1::run_single_pass(&cfg);
     };
     let victim_fused = || {
         conflict_sweep::run(&cfg, conflict_sweep::Mechanism::VictimCache, 4);
@@ -138,25 +182,67 @@ fn main() -> ExitCode {
     let stream_per_cell = || {
         stream_sweep::run_per_cell(&cfg, 1, 8);
     };
+    let grid_single = || {
+        single_pass::run(&cfg);
+    };
+    let grid_per_cell = || {
+        single_pass::run_per_cell(&cfg);
+    };
+    let grid_cells = single_pass::cells_per_side();
 
-    // fig_3_1 has no per-cell schedule (see the module docs); the other
-    // sweeps get per-cell at one thread plus fused at one and two.
-    let runs = vec![
-        time_sweep("fig_3_1", "fused", 1, total, &fig31),
-        time_sweep("fig_3_1", "fused", 2, total, &fig31),
-        time_sweep("victim_cache_4", "per_cell", 1, 5 * total, &victim_per_cell),
-        time_sweep("victim_cache_4", "fused", 1, 5 * total, &victim_fused),
-        time_sweep("victim_cache_4", "fused", 2, 5 * total, &victim_fused),
+    // The one-pass engine rows: the full geometry grid from one
+    // traversal per (benchmark, side, policy), against the demoted
+    // per-cell oracle covering the same cells, plus fig_3_1's
+    // stack-depth path against its classifying simulator.
+    let mut runs = vec![
         time_sweep(
-            "stream_single_8",
+            "geometry_grid",
             "per_cell",
             1,
-            10 * total,
-            &stream_per_cell,
+            grid_cells,
+            total,
+            &grid_per_cell,
         ),
-        time_sweep("stream_single_8", "fused", 1, 10 * total, &stream_fused),
-        time_sweep("stream_single_8", "fused", 2, 10 * total, &stream_fused),
+        time_sweep(
+            "geometry_grid",
+            "single_pass",
+            1,
+            grid_cells,
+            total,
+            &grid_single,
+        ),
+        time_sweep(
+            "geometry_grid",
+            "single_pass",
+            2,
+            grid_cells,
+            total,
+            &grid_single,
+        ),
+        time_sweep("fig_3_1", "single_pass", 1, 1, total, &fig31_single),
     ];
+    if !single_pass_only {
+        // fig_3_1 has no per-cell schedule (see the module docs); the
+        // other sweeps get per-cell at one thread plus fused at one and
+        // two.
+        runs.extend([
+            time_sweep("fig_3_1", "fused", 1, 1, total, &fig31),
+            time_sweep("fig_3_1", "fused", 2, 1, total, &fig31),
+            time_sweep("victim_cache_4", "per_cell", 1, 5, total, &victim_per_cell),
+            time_sweep("victim_cache_4", "fused", 1, 5, total, &victim_fused),
+            time_sweep("victim_cache_4", "fused", 2, 5, total, &victim_fused),
+            time_sweep(
+                "stream_single_8",
+                "per_cell",
+                1,
+                10,
+                total,
+                &stream_per_cell,
+            ),
+            time_sweep("stream_single_8", "fused", 1, 10, total, &stream_fused),
+            time_sweep("stream_single_8", "fused", 2, 10, total, &stream_fused),
+        ]);
+    }
 
     let report = render_json(sweep::available_cores(), &cfg, &runs);
     std::fs::write(&out, &report).expect("failed to write the benchmark report");

@@ -41,7 +41,13 @@ pub struct Measurement {
     pub mode: &'static str,
     /// Worker threads the sweep engine actually used.
     pub threads: usize,
-    /// Total memory references simulated across all cells.
+    /// Configuration cells covered by the run (size × associativity ×
+    /// policy points answered, per benchmark side).
+    pub cells: u64,
+    /// Total references of work delivered: cells covered × trace
+    /// references. For per-cell schedules this equals references
+    /// replayed; one-pass engines deliver the same work from fewer
+    /// traversals, which is exactly what the throughput ratio measures.
     pub refs: u64,
     /// Wall-clock time in milliseconds.
     pub wall_ms: f64,
@@ -63,6 +69,7 @@ impl Measurement {
             ("sweep", Json::str(self.sweep)),
             ("mode", Json::str(self.mode)),
             ("threads", Json::Int(self.threads as i64)),
+            ("cells", Json::Int(self.cells as i64)),
             ("refs", Json::Int(self.refs as i64)),
             ("wall_ms", Json::Float(round3(self.wall_ms))),
             ("refs_per_sec", Json::Float(self.refs_per_sec().round())),
@@ -155,6 +162,7 @@ mod tests {
             sweep: "fig_3_1",
             mode: "fused",
             threads: 4,
+            cells: 1,
             refs: 2_000,
             wall_ms: 500.0,
         }
@@ -180,6 +188,7 @@ mod tests {
         let results = doc.get("results").unwrap().as_arr().unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].get("sweep").unwrap(), &Json::str("fig_3_1"));
+        assert_eq!(results[0].get("cells").unwrap(), &Json::Int(1));
         assert_eq!(
             results[0].get("refs_per_sec").unwrap(),
             &Json::Float(4_000.0)

@@ -43,6 +43,7 @@ mod line_hash;
 mod lru;
 mod replacement;
 mod set_assoc;
+mod single_pass;
 mod stack_distance;
 mod stats;
 
@@ -52,5 +53,6 @@ pub use line_hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use lru::{LruSet, TouchOutcome, SMALL_CAPACITY_MAX};
 pub use replacement::ReplacementPolicy;
 pub use set_assoc::{AccessResult, Cache};
+pub use single_pass::{FifoSweep, LruSweep, SinglePassError};
 pub use stack_distance::StackDistanceProfile;
 pub use stats::{CacheStats, MissBreakdown};

@@ -1,0 +1,1184 @@
+//! One-pass multi-geometry miss-count engines.
+//!
+//! The per-cell simulators in [`crate::set_assoc`] pay one trace pass per
+//! (size, associativity) cell. This module answers *every* cell from a
+//! single traversal:
+//!
+//! * [`LruSweep`] — Mattson's stack-distance algorithm, generalized by
+//!   *set refinement*: an S-set, A-way LRU cache hits exactly the
+//!   references whose stack distance **within their set's substream** is
+//!   ≤ A (sets partition the line space by the same shift/mask indexing
+//!   as [`crate::CacheGeometry::set_of`], and LRU acts independently per
+//!   set). Tracking within-set distances for one set count therefore
+//!   yields the exact miss count of every associativity at that set
+//!   count; tracking a list of set counts covers a whole size ×
+//!   associativity grid in one pass. The 1-set level is classic Mattson:
+//!   the fully-associative miss-rate curve for every capacity at once.
+//!   Two backends share this theory: [`LruSweep::for_set_counts`]
+//!   resolves *every* depth with per-set Fenwick trees (needed for
+//!   capacity curves), while [`LruSweep::bounded`] resolves depths only
+//!   up to each level's largest queried associativity with capped
+//!   per-set MRU arrays — still exact for those queries (hit ⇔ depth ≤
+//!   ways) at a fraction of the per-reference cost.
+//!
+//! * [`FifoSweep`] — FIFO has no inclusion property (Belady's anomaly:
+//!   more frames can miss *more*), so no histogram shortcut exists. The
+//!   DEW observation (Wires et al., arXiv:1506.03181) still collapses
+//!   the sweep into one pass: FIFO state changes **only on misses**, so
+//!   each cell can be kept as a tiny ring of per-set cursors, advanced
+//!   lazily, with a per-line presence bitmask selecting in O(1) which
+//!   cells miss. Work per reference is O(1 + #cells-that-miss) instead
+//!   of O(#cells).
+//!
+//! Both engines are exact — equal to the [`crate::Cache`] oracle miss
+//! for miss, which the unit tests here and the cross-crate equivalence
+//! suites pin on random, cyclic, and Belady-anomaly streams.
+
+use std::error::Error;
+use std::fmt;
+
+use jouppi_trace::LineAddr;
+
+use crate::line_hash::{FxHashMap, FxHashSet};
+use crate::CacheGeometry;
+
+/// Why a single-pass engine could not be constructed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SinglePassError {
+    /// No geometry cells were requested.
+    Empty,
+    /// A set count was zero or not a power of two (shift/mask indexing).
+    BadSetCount(u64),
+    /// An associativity was zero.
+    BadAssociativity(u64),
+    /// More FIFO cells than the presence bitmask can index.
+    TooManyCells {
+        /// Cells requested.
+        requested: usize,
+        /// The [`FifoSweep::MAX_CELLS`] limit.
+        max: usize,
+    },
+}
+
+impl fmt::Display for SinglePassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinglePassError::Empty => write!(f, "at least one geometry cell is required"),
+            SinglePassError::BadSetCount(v) => {
+                write!(f, "set count must be a nonzero power of two, got {v}")
+            }
+            SinglePassError::BadAssociativity(v) => {
+                write!(f, "associativity must be nonzero, got {v}")
+            }
+            SinglePassError::TooManyCells { requested, max } => {
+                write!(
+                    f,
+                    "{requested} FIFO cells requested; the bitmask holds {max}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SinglePassError {}
+
+/// One set count's tracking state: a Fenwick tree over *local* (per-set)
+/// timestamps counting most-recent-access marks, plus the owner row of
+/// each timestamp so compaction can test liveness.
+///
+/// Timestamps are set-local and compacted when the arena fills: live
+/// stamps are renumbered 1..=live and capacity doubles over the live
+/// count, so memory is O(footprint) and compaction is amortized O(1)
+/// per insertion (each compaction buys `live` headroom and costs
+/// O(live) — the same coin the doubling rebuild in
+/// [`crate::StackDistanceProfile`] pays, but per set).
+#[derive(Clone, Debug, Default)]
+struct SetTracker {
+    /// Fenwick tree, 1-based; `tree.len() == owner.len() + 1`.
+    tree: Vec<u32>,
+    /// `owner[t - 1]` = row that last claimed local timestamp `t`.
+    owner: Vec<u32>,
+    /// Highest local timestamp issued.
+    now: u32,
+    /// Marked (live) timestamps = distinct lines resident in this set's
+    /// LRU stack.
+    live: u32,
+}
+
+impl SetTracker {
+    /// Sum of marks at timestamps `1..=idx`.
+    fn prefix(&self, mut idx: u32) -> u32 {
+        let mut sum = 0;
+        while idx > 0 {
+            sum += self.tree[idx as usize];
+            idx &= idx - 1;
+        }
+        sum
+    }
+
+    /// Adds `delta` (±1) to the mark at timestamp `idx`.
+    fn add(&mut self, mut idx: u32, delta: i32) {
+        let cap = self.owner.len() as u32;
+        while idx <= cap {
+            self.tree[idx as usize] = self.tree[idx as usize].wrapping_add_signed(delta);
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Renumbers live timestamps to `1..=live` (updating the rows' slots
+    /// in `ts` at stride `nlevels`, offset `k`) and rebuilds the tree
+    /// with doubled headroom.
+    fn compact(&mut self, ts: &mut [u32], k: usize, nlevels: usize) {
+        let mut kept: u32 = 0;
+        for t in 1..=self.now {
+            let row = self.owner[(t - 1) as usize];
+            let slot = row as usize * nlevels + k;
+            // A timestamp is live iff its owner row still points at it;
+            // anything else was superseded by a later access.
+            if ts[slot] == t {
+                self.owner[kept as usize] = row;
+                kept += 1;
+                ts[slot] = kept;
+            }
+        }
+        debug_assert_eq!(kept, self.live);
+        self.now = kept;
+        let cap = (kept as usize * 2).max(8);
+        self.owner.resize(cap, 0);
+        self.tree.clear();
+        self.tree.resize(cap + 1, 0);
+        for mark in &mut self.tree[1..=kept as usize] {
+            *mark = 1;
+        }
+        for i in 1..=cap {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= cap {
+                let v = self.tree[i];
+                self.tree[parent] += v;
+            }
+        }
+    }
+}
+
+/// One tracked set count: its mask, per-set trackers, and the shared
+/// within-set stack-distance histogram.
+#[derive(Clone, Debug)]
+struct Level {
+    /// `num_sets - 1`; line→set is one mask.
+    mask: u64,
+    /// `hist[d]` = references at within-set stack distance exactly `d`
+    /// (1-based; index 0 unused).
+    hist: Vec<u64>,
+    /// One tracker per set.
+    sets: Vec<SetTracker>,
+}
+
+/// Free-slot sentinel for bounded MRU arrays; line addresses must not
+/// collide with it (real line addresses are byte addresses shifted
+/// down, so they cannot).
+const EMPTY_LINE: u64 = u64::MAX;
+
+/// One tracked set count under the bounded backend: flattened per-set
+/// MRU arrays truncated at the level's associativity bound.
+///
+/// A hit at array index `i` is within-set stack distance `i + 1`; a
+/// warm reference absent from the array is deeper than the bound and
+/// lands in one overflow bucket. Nothing is lost: an A-way set hits
+/// exactly the references with depth ≤ A, so depths beyond the largest
+/// associativity anyone will query never need resolving — and the
+/// per-reference cost drops from two Fenwick traversals to a word scan
+/// that usually ends at the first (most recent) slot.
+#[derive(Clone, Debug)]
+struct BoundedLevel {
+    /// `num_sets - 1`; line→set is one mask.
+    mask: u64,
+    /// Largest associativity this level can answer.
+    bound: u32,
+    /// `hist[d]` = references at within-set stack distance exactly `d`
+    /// (`2..=bound`; indices 0 and 1 unused — depth-1 hits are below
+    /// every answerable associativity, so no query ever reads them and
+    /// `observe` does not count them).
+    hist: Vec<u64>,
+    /// Warm references deeper than `bound` — a miss at every
+    /// answerable associativity.
+    deep: u64,
+    /// Resident entries per set (each ≤ `bound`).
+    lens: Vec<u32>,
+    /// `entries[set * bound..][..lens[set]]`: the set's LRU stack, most
+    /// recent first, truncated at `bound` (whatever falls off the end
+    /// is exactly the set's least-recent tracked line).
+    entries: Vec<u64>,
+}
+
+/// How a [`LruSweep`] tracks within-set stack distances.
+#[derive(Clone, Debug)]
+enum Backend {
+    /// Fenwick trees over per-set timestamps: every depth resolved
+    /// exactly, any associativity answerable.
+    Exact {
+        levels: Vec<Level>,
+        /// Line → dense row index into `ts`.
+        rows: FxHashMap<LineAddr, u32>,
+        /// `ts[row * levels + k]` = the row's current local timestamp
+        /// at level `k` (0 = not resident in that level's tracking).
+        ts: Vec<u32>,
+    },
+    /// Capped per-set MRU arrays: exact for associativities up to each
+    /// level's bound, `None` beyond it.
+    Bounded {
+        levels: Vec<BoundedLevel>,
+        /// Lines ever observed (first-touch detection).
+        seen: FxHashSet<LineAddr>,
+    },
+}
+
+/// A single-pass LRU sweep: one trace traversal, exact miss counts for
+/// every (set count in the tracked list) × (any associativity) cell.
+///
+/// # Examples
+///
+/// ```
+/// use jouppi_cache::LruSweep;
+/// use jouppi_trace::LineAddr;
+///
+/// // Track set counts 1 (fully associative) and 2.
+/// let mut sweep = LruSweep::for_set_counts(&[1, 2]).unwrap();
+/// for &n in &[0u64, 1, 2, 0, 1, 2] {
+///     sweep.observe(LineAddr::new(n));
+/// }
+/// // FA-LRU with 3 lines holds the whole loop: only cold misses.
+/// assert_eq!(sweep.misses(1, 3), Some(3));
+/// // 2 lines thrash: every reference misses.
+/// assert_eq!(sweep.misses(1, 2), Some(6));
+/// // 2 sets × 2 ways: lines {0, 2} share set 0 but both fit.
+/// assert_eq!(sweep.misses(2, 2), Some(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruSweep {
+    /// Tracked set counts, ascending and distinct.
+    set_counts: Vec<u64>,
+    backend: Backend,
+    /// Scratch: within-set depth per level for the last `observe_depths`.
+    depths: Vec<u32>,
+    total: u64,
+    cold: u64,
+}
+
+impl LruSweep {
+    /// Creates a sweep tracking the given set counts (deduplicated and
+    /// sorted; each must be a nonzero power of two).
+    ///
+    /// # Errors
+    ///
+    /// [`SinglePassError`] when the list is empty or a count is invalid.
+    pub fn for_set_counts(set_counts: &[u64]) -> Result<Self, SinglePassError> {
+        let counts = LruSweep::validated_counts(set_counts)?;
+        let levels = counts
+            .iter()
+            .map(|&c| Level {
+                mask: c - 1,
+                hist: Vec::new(),
+                sets: vec![SetTracker::default(); c as usize],
+            })
+            .collect();
+        let n = counts.len();
+        Ok(LruSweep {
+            set_counts: counts,
+            backend: Backend::Exact {
+                levels,
+                rows: FxHashMap::default(),
+                ts: Vec::new(),
+            },
+            depths: vec![0; n],
+            total: 0,
+            cold: 0,
+        })
+    }
+
+    /// Creates a *bounded* sweep over `(num_sets, max_associativity)`
+    /// cells: each set count's within-set distances are resolved only up
+    /// to the largest associativity listed for it. Queries at or below
+    /// the bound stay exact — an A-way set hits iff the depth is ≤ A, so
+    /// deeper depths never matter — while [`Self::misses`] returns
+    /// `None` beyond it. The payoff is the per-reference cost: a short
+    /// scan of a capped per-set MRU array instead of Fenwick-tree
+    /// traversals, which is what lets one pass answer a whole geometry
+    /// grid faster than simulating any single cell.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jouppi_cache::LruSweep;
+    /// use jouppi_trace::LineAddr;
+    ///
+    /// // Fully associative up to 3 ways, 2 sets up to 2 ways.
+    /// let mut sweep = LruSweep::bounded(&[(1, 3), (2, 2)]).unwrap();
+    /// for &n in &[0u64, 1, 2, 0, 1, 2] {
+    ///     sweep.observe(LineAddr::new(n));
+    /// }
+    /// assert_eq!(sweep.misses(1, 3), Some(3));
+    /// assert_eq!(sweep.misses(1, 2), Some(6));
+    /// assert_eq!(sweep.misses(2, 2), Some(3));
+    /// // Beyond the tracked bound the sweep cannot answer.
+    /// assert_eq!(sweep.misses(1, 4), None);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SinglePassError`] when the list is empty, a set count is not a
+    /// nonzero power of two, or an associativity bound is zero (or does
+    /// not fit the `u32` the backend stores it in).
+    pub fn bounded(cells: &[(u64, u64)]) -> Result<Self, SinglePassError> {
+        let counts =
+            LruSweep::validated_counts(&cells.iter().map(|&(s, _)| s).collect::<Vec<_>>())?;
+        let mut bounds = vec![0u32; counts.len()];
+        for &(sets, assoc) in cells {
+            let bound = match u32::try_from(assoc) {
+                Ok(b) if b > 0 => b,
+                _ => return Err(SinglePassError::BadAssociativity(assoc)),
+            };
+            let k = counts
+                .binary_search(&sets)
+                .expect("counts were built from these cells");
+            bounds[k] = bounds[k].max(bound);
+        }
+        let levels = counts
+            .iter()
+            .zip(&bounds)
+            .map(|(&c, &bound)| BoundedLevel {
+                mask: c - 1,
+                bound,
+                hist: vec![0; bound as usize + 1],
+                deep: 0,
+                lens: vec![0; c as usize],
+                entries: vec![EMPTY_LINE; c as usize * bound as usize],
+            })
+            .collect();
+        let n = counts.len();
+        Ok(LruSweep {
+            set_counts: counts,
+            backend: Backend::Bounded {
+                levels,
+                seen: FxHashSet::default(),
+            },
+            depths: vec![0; n],
+            total: 0,
+            cold: 0,
+        })
+    }
+
+    /// Validates, sorts, and deduplicates a set-count list.
+    fn validated_counts(set_counts: &[u64]) -> Result<Vec<u64>, SinglePassError> {
+        let mut counts = set_counts.to_vec();
+        counts.sort_unstable();
+        counts.dedup();
+        if counts.is_empty() {
+            return Err(SinglePassError::Empty);
+        }
+        for &c in &counts {
+            if c == 0 || !c.is_power_of_two() {
+                return Err(SinglePassError::BadSetCount(c));
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Creates a sweep tracking every power-of-two set count up to and
+    /// including `max_sets`.
+    ///
+    /// # Errors
+    ///
+    /// [`SinglePassError`] when `max_sets` is not a power of two.
+    pub fn up_to(max_sets: u64) -> Result<Self, SinglePassError> {
+        if max_sets == 0 || !max_sets.is_power_of_two() {
+            return Err(SinglePassError::BadSetCount(max_sets));
+        }
+        let counts: Vec<u64> = (0..=max_sets.trailing_zeros()).map(|s| 1u64 << s).collect();
+        LruSweep::for_set_counts(&counts)
+    }
+
+    /// Observes one reference.
+    pub fn observe(&mut self, line: LineAddr) {
+        self.observe_depths(line);
+    }
+
+    /// Observes one reference and returns `(first touch, depths)`, where
+    /// `depths[k]` is the within-set stack distance at the k-th tracked
+    /// set count (in [`Self::set_counts`] order; 0 on first touch).
+    ///
+    /// The per-reference prediction: an S-set, A-way LRU cache hits this
+    /// reference iff it is not a first touch and the depth at level S is
+    /// ≤ A. On a [`Self::bounded`] sweep, depths deeper than a level's
+    /// bound are reported as `bound + 1` — the prediction stays correct
+    /// for every associativity the level can answer.
+    pub fn observe_depths(&mut self, line: LineAddr) -> (bool, &[u32]) {
+        self.total += 1;
+        let nlevels = self.set_counts.len();
+        let cold = match &mut self.backend {
+            Backend::Exact { levels, rows, ts } => {
+                let next = rows.len() as u32;
+                let row = *rows.entry(line).or_insert(next);
+                let cold = row == next;
+                if cold {
+                    ts.resize(ts.len() + nlevels, 0);
+                }
+                let base = row as usize * nlevels;
+                for (k, level) in levels.iter_mut().enumerate() {
+                    let set = (line.get() & level.mask) as usize;
+                    let tracker = &mut level.sets[set];
+                    let prev = ts[base + k];
+                    let mut depth = 0u32;
+                    if prev != 0 {
+                        // Marks above `prev` are the distinct lines of
+                        // this set touched since the previous access to
+                        // this line.
+                        depth = tracker.live - tracker.prefix(prev) + 1;
+                        let d = depth as usize;
+                        if level.hist.len() <= d {
+                            level.hist.resize(d + 1, 0);
+                        }
+                        level.hist[d] += 1;
+                        tracker.add(prev, -1);
+                        tracker.live -= 1;
+                        // Clear before any compaction so the stale stamp
+                        // reads as dead.
+                        ts[base + k] = 0;
+                    }
+                    if tracker.now as usize == tracker.owner.len() {
+                        tracker.compact(ts, k, nlevels);
+                    }
+                    let t = tracker.now + 1;
+                    tracker.owner[(t - 1) as usize] = row;
+                    tracker.add(t, 1);
+                    tracker.live += 1;
+                    tracker.now = t;
+                    ts[base + k] = t;
+                    self.depths[k] = depth;
+                }
+                cold
+            }
+            Backend::Bounded { levels, seen } => {
+                let raw = line.get();
+                debug_assert_ne!(raw, EMPTY_LINE, "line collides with the free sentinel");
+                // Fast path: the most recent line of its set at the
+                // *coarsest* level is at depth 1 at every level (set
+                // refinement: finer substreams are subsequences, so
+                // depth is non-increasing in set count). A depth-1 hit
+                // changes nothing — the line already fronts every MRU
+                // array, it cannot be cold, and depth 1 is a hit at
+                // every answerable associativity — so the whole
+                // reference is one compare.
+                {
+                    let coarsest = &levels[0];
+                    let set = (raw & coarsest.mask) as usize;
+                    if coarsest.entries[set * coarsest.bound as usize] == raw {
+                        self.depths.fill(1);
+                        return (false, &self.depths);
+                    }
+                }
+                let cold = seen.insert(line);
+                for (k, level) in levels.iter_mut().enumerate() {
+                    let bound = level.bound as usize;
+                    let set = (raw & level.mask) as usize;
+                    let base = set * bound;
+                    // Depth-1 hit at this level: nothing to shift, and
+                    // nothing to count — `misses` never reads depths a
+                    // 1-way set already hits (`hist[1]` stays 0).
+                    if level.entries[base] == raw {
+                        self.depths[k] = 1;
+                        continue;
+                    }
+                    // Search-and-shift from slot 1: the line moves to
+                    // the front and each walked entry slides one slot
+                    // down; when the line is found mid-array the walk
+                    // has already rotated the prefix.
+                    let len = level.lens[set] as usize;
+                    let mut carry = level.entries[base];
+                    level.entries[base] = raw;
+                    let mut depth = 0u32;
+                    let slots = level.entries[base + 1..base + len.max(1)].iter_mut();
+                    for (slot, d) in slots.zip(2u32..) {
+                        let cur = *slot;
+                        *slot = carry;
+                        if cur == raw {
+                            depth = d;
+                            break;
+                        }
+                        carry = cur;
+                    }
+                    if depth != 0 {
+                        level.hist[depth as usize] += 1;
+                    } else {
+                        // Deeper than the bound, or a first touch. The
+                        // carried-out line — the set's least-recent
+                        // tracked entry — falls off unless there is
+                        // still room for it.
+                        if len == 0 {
+                            level.lens[set] = 1;
+                        } else if len < bound {
+                            level.entries[base + len] = carry;
+                            level.lens[set] += 1;
+                        }
+                        if !cold {
+                            level.deep += 1;
+                        }
+                        depth = level.bound + 1;
+                    }
+                    self.depths[k] = if cold { 0 } else { depth };
+                }
+                cold
+            }
+        };
+        if cold {
+            self.cold += 1;
+        }
+        (cold, &self.depths)
+    }
+
+    /// The tracked set counts, ascending.
+    pub fn set_counts(&self) -> &[u64] {
+        &self.set_counts
+    }
+
+    /// Index of `num_sets` in [`Self::set_counts`], if tracked.
+    pub fn level_of(&self, num_sets: u64) -> Option<usize> {
+        // jouppi-lint: allow(swallowed-result) — Err here is just "not found", converted to the Option this accessor returns
+        self.set_counts.binary_search(&num_sets).ok()
+    }
+
+    /// Exact misses of an LRU cache with `num_sets` sets of
+    /// `associativity` ways on the observed stream; `None` when
+    /// `num_sets` is not tracked, `associativity` is 0, or (on a
+    /// [`Self::bounded`] sweep) `associativity` exceeds the level's
+    /// bound.
+    pub fn misses(&self, num_sets: u64, associativity: u64) -> Option<u64> {
+        if associativity == 0 {
+            return None;
+        }
+        let k = self.level_of(num_sets)?;
+        match &self.backend {
+            Backend::Exact { levels, .. } => {
+                let deep: u64 = levels[k].hist.iter().skip(associativity as usize + 1).sum();
+                Some(self.cold + deep)
+            }
+            Backend::Bounded { levels, .. } => {
+                let level = &levels[k];
+                if associativity > u64::from(level.bound) {
+                    return None;
+                }
+                let above: u64 = level.hist.iter().skip(associativity as usize + 1).sum();
+                Some(self.cold + level.deep + above)
+            }
+        }
+    }
+
+    /// Exact misses of an LRU cache with the given geometry.
+    pub fn misses_for_geometry(&self, geom: &CacheGeometry) -> Option<u64> {
+        self.misses(geom.num_sets(), geom.associativity())
+    }
+
+    /// Miss rate of an LRU cache with the given geometry.
+    pub fn miss_rate_for_geometry(&self, geom: &CacheGeometry) -> Option<f64> {
+        self.miss_rate(geom.num_sets(), geom.associativity())
+    }
+
+    /// Miss rate of an LRU cache with `num_sets` sets of `associativity`
+    /// ways (0.0 on an empty stream).
+    pub fn miss_rate(&self, num_sets: u64, associativity: u64) -> Option<f64> {
+        let misses = self.misses(num_sets, associativity)?;
+        Some(if self.total == 0 {
+            0.0
+        } else {
+            misses as f64 / self.total as f64
+        })
+    }
+
+    /// Total references observed.
+    pub fn total_refs(&self) -> u64 {
+        self.total
+    }
+
+    /// First-touch (compulsory) references.
+    pub fn cold_refs(&self) -> u64 {
+        self.cold
+    }
+
+    /// Number of distinct lines observed.
+    pub fn distinct_lines(&self) -> usize {
+        match &self.backend {
+            Backend::Exact { rows, .. } => rows.len(),
+            Backend::Bounded { seen, .. } => seen.len(),
+        }
+    }
+}
+
+/// One FIFO geometry cell: set-major rings of resident lines.
+#[derive(Clone, Debug)]
+struct FifoCell {
+    /// `num_sets - 1`.
+    set_mask: u64,
+    assoc: u32,
+    /// `slots[set * assoc + way]`; [`FifoSweep::EMPTY`] = free.
+    slots: Vec<u64>,
+    /// Next way to fill/evict per set (= insertion count mod assoc, so
+    /// it always points at the oldest resident — exactly the
+    /// [`crate::Cache`] FIFO fill order: free ways in index order, then
+    /// minimum insertion stamp).
+    cursors: Vec<u32>,
+    misses: u64,
+}
+
+/// A single-pass FIFO sweep over an explicit list of geometry cells.
+///
+/// # Examples
+///
+/// Belady's anomaly, straight from the textbook stream — *more* frames,
+/// *more* misses — which is why FIFO needs per-cell state rather than a
+/// stack-distance histogram:
+///
+/// ```
+/// use jouppi_cache::FifoSweep;
+/// use jouppi_trace::LineAddr;
+///
+/// let mut sweep = FifoSweep::new(&[(1, 3), (1, 4)]).unwrap();
+/// for &n in &[1u64, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5] {
+///     sweep.observe(LineAddr::new(n));
+/// }
+/// assert_eq!(sweep.misses(1, 3), Some(9));
+/// assert_eq!(sweep.misses(1, 4), Some(10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FifoSweep {
+    /// `(num_sets, associativity)` per cell, in construction order.
+    keys: Vec<(u64, u64)>,
+    cells: Vec<FifoCell>,
+    /// Line → bitmask of cells the line is currently resident in.
+    present: FxHashMap<LineAddr, u128>,
+    /// Mask with one bit per cell.
+    all: u128,
+    total: u64,
+}
+
+impl FifoSweep {
+    /// Most cells one sweep can track (the width of the per-line
+    /// presence bitmask).
+    pub const MAX_CELLS: usize = 128;
+
+    /// Free-slot sentinel; line addresses must not collide with it (real
+    /// line addresses are byte addresses shifted down, so they cannot).
+    const EMPTY: u64 = u64::MAX;
+
+    /// Creates a sweep over `(num_sets, associativity)` cells
+    /// (duplicates removed, order preserved).
+    ///
+    /// # Errors
+    ///
+    /// [`SinglePassError`] when the list is empty or oversized, a set
+    /// count is not a nonzero power of two, or an associativity is 0.
+    pub fn new(cells: &[(u64, u64)]) -> Result<Self, SinglePassError> {
+        let mut keys: Vec<(u64, u64)> = Vec::with_capacity(cells.len());
+        for &cell in cells {
+            if !keys.contains(&cell) {
+                keys.push(cell);
+            }
+        }
+        if keys.is_empty() {
+            return Err(SinglePassError::Empty);
+        }
+        if keys.len() > FifoSweep::MAX_CELLS {
+            return Err(SinglePassError::TooManyCells {
+                requested: keys.len(),
+                max: FifoSweep::MAX_CELLS,
+            });
+        }
+        let cells = keys
+            .iter()
+            .map(|&(sets, assoc)| {
+                if sets == 0 || !sets.is_power_of_two() {
+                    return Err(SinglePassError::BadSetCount(sets));
+                }
+                if assoc == 0 {
+                    return Err(SinglePassError::BadAssociativity(assoc));
+                }
+                Ok(FifoCell {
+                    set_mask: sets - 1,
+                    assoc: assoc as u32,
+                    slots: vec![FifoSweep::EMPTY; (sets * assoc) as usize],
+                    cursors: vec![0; sets as usize],
+                    misses: 0,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let all = if keys.len() == FifoSweep::MAX_CELLS {
+            u128::MAX
+        } else {
+            (1u128 << keys.len()) - 1
+        };
+        Ok(FifoSweep {
+            keys,
+            cells,
+            present: FxHashMap::default(),
+            all,
+            total: 0,
+        })
+    }
+
+    /// Observes one reference, returning the bitmask of cells (by
+    /// construction order) that missed.
+    pub fn observe(&mut self, line: LineAddr) -> u128 {
+        self.total += 1;
+        let raw = line.get();
+        debug_assert_ne!(
+            raw,
+            FifoSweep::EMPTY,
+            "line collides with the free sentinel"
+        );
+        let bits = self.present.get(&line).copied().unwrap_or(0);
+        let missing = !bits & self.all;
+        if missing == 0 {
+            return 0;
+        }
+        let mut m = missing;
+        while m != 0 {
+            let idx = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let cell = &mut self.cells[idx];
+            cell.misses += 1;
+            let set = (raw & cell.set_mask) as usize;
+            let cursor = cell.cursors[set];
+            let pos = set * cell.assoc as usize + cursor as usize;
+            let evicted = cell.slots[pos];
+            if evicted != FifoSweep::EMPTY {
+                // The victim is resident in this cell, so its presence
+                // entry exists; it cannot be `line` (we are missing here).
+                let e = self
+                    .present
+                    .get_mut(&LineAddr::new(evicted))
+                    .expect("evicted line was resident");
+                *e &= !(1u128 << idx);
+            }
+            cell.slots[pos] = raw;
+            cell.cursors[set] = if cursor + 1 == cell.assoc {
+                0
+            } else {
+                cursor + 1
+            };
+        }
+        *self.present.entry(line).or_insert(0) |= missing;
+        missing
+    }
+
+    /// The tracked `(num_sets, associativity)` cells, in construction
+    /// order (duplicates removed).
+    pub fn cells(&self) -> &[(u64, u64)] {
+        &self.keys
+    }
+
+    /// Exact FIFO misses for the `(num_sets, associativity)` cell;
+    /// `None` when the cell is not tracked.
+    pub fn misses(&self, num_sets: u64, associativity: u64) -> Option<u64> {
+        let idx = self
+            .keys
+            .iter()
+            .position(|&k| k == (num_sets, associativity))?;
+        Some(self.cells[idx].misses)
+    }
+
+    /// Exact FIFO misses for the given geometry.
+    pub fn misses_for_geometry(&self, geom: &CacheGeometry) -> Option<u64> {
+        self.misses(geom.num_sets(), geom.associativity())
+    }
+
+    /// Total references observed.
+    pub fn total_refs(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cache, ReplacementPolicy};
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    /// A pseudo-random stream with heavy reuse and phase shifts.
+    fn mixed_stream() -> Vec<u64> {
+        let mut v: Vec<u64> = (0..4000u64).map(|i| (i * 31 + i / 7) % 97).collect();
+        v.extend((0..500u64).flat_map(|i| [i % 40, (i * 17) % 160]));
+        v
+    }
+
+    /// Cyclic thrash: the classic LRU worst case, plus a conflict-heavy
+    /// stride that lands every reference in set 0 of small set counts.
+    fn adversarial_streams() -> Vec<Vec<u64>> {
+        vec![
+            (0..600u64).map(|i| i % 9).collect(),
+            (0..600u64).map(|i| (i % 7) * 64).collect(),
+            vec![1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5],
+            (0..400u64).map(|i| (i * i) % 53).collect(),
+        ]
+    }
+
+    /// The per-cell oracle's misses for one geometry/policy.
+    fn oracle(stream: &[u64], sets: u64, assoc: u64, policy: ReplacementPolicy) -> u64 {
+        let geom = CacheGeometry::new(sets * assoc * 16, 16, assoc).expect("valid");
+        assert_eq!(geom.num_sets(), sets);
+        let mut cache = Cache::with_policy(geom, policy);
+        let mut misses = 0;
+        for &n in stream {
+            if cache.access_line(l(n)).is_miss() {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    const GRID: [(u64, u64); 12] = [
+        (1, 1),
+        (1, 4),
+        (1, 16),
+        (2, 2),
+        (4, 1),
+        (4, 4),
+        (8, 2),
+        (8, 8),
+        (16, 1),
+        (16, 4),
+        (32, 2),
+        (64, 1),
+    ];
+
+    #[test]
+    fn lru_sweep_matches_cache_oracle_on_mixed_stream() {
+        let stream = mixed_stream();
+        let counts: Vec<u64> = GRID.iter().map(|&(s, _)| s).collect();
+        let mut sweep = LruSweep::for_set_counts(&counts).unwrap();
+        for &n in &stream {
+            sweep.observe(l(n));
+        }
+        for &(sets, assoc) in &GRID {
+            assert_eq!(
+                sweep.misses(sets, assoc),
+                Some(oracle(&stream, sets, assoc, ReplacementPolicy::Lru)),
+                "LRU {sets} sets × {assoc} ways"
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_sweep_matches_cache_oracle_on_mixed_stream() {
+        let stream = mixed_stream();
+        let mut sweep = FifoSweep::new(&GRID).unwrap();
+        for &n in &stream {
+            sweep.observe(l(n));
+        }
+        for &(sets, assoc) in &GRID {
+            assert_eq!(
+                sweep.misses(sets, assoc),
+                Some(oracle(&stream, sets, assoc, ReplacementPolicy::Fifo)),
+                "FIFO {sets} sets × {assoc} ways"
+            );
+        }
+    }
+
+    #[test]
+    fn both_engines_match_oracle_on_adversarial_streams() {
+        for stream in adversarial_streams() {
+            let counts: Vec<u64> = GRID.iter().map(|&(s, _)| s).collect();
+            let mut lru = LruSweep::for_set_counts(&counts).unwrap();
+            let mut fifo = FifoSweep::new(&GRID).unwrap();
+            for &n in &stream {
+                lru.observe(l(n));
+                fifo.observe(l(n));
+            }
+            for &(sets, assoc) in &GRID {
+                assert_eq!(
+                    lru.misses(sets, assoc),
+                    Some(oracle(&stream, sets, assoc, ReplacementPolicy::Lru)),
+                    "LRU {sets}x{assoc} on {stream:?}"
+                );
+                assert_eq!(
+                    fifo.misses(sets, assoc),
+                    Some(oracle(&stream, sets, assoc, ReplacementPolicy::Fifo)),
+                    "FIFO {sets}x{assoc} on {stream:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn belady_anomaly_is_reproduced_exactly() {
+        // FIFO at 4 frames misses MORE than at 3 on this stream — the
+        // proof no inclusion/histogram shortcut exists for FIFO.
+        let stream = [1u64, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+        let mut sweep = FifoSweep::new(&[(1, 3), (1, 4)]).unwrap();
+        for &n in &stream {
+            sweep.observe(l(n));
+        }
+        // The textbook counts: 9 misses at 3 frames, 10 at 4.
+        assert_eq!(sweep.misses(1, 3), Some(9));
+        assert_eq!(sweep.misses(1, 4), Some(10));
+        // The 4-frame cell is a constructible power-of-two geometry, so
+        // cross-check it against the per-cell oracle too (3 frames is a
+        // 48-byte cache, which CacheGeometry rejects — the sweep is not
+        // limited to constructible sizes).
+        assert_eq!(
+            sweep.misses(1, 4).unwrap(),
+            oracle(&stream, 1, 4, ReplacementPolicy::Fifo)
+        );
+    }
+
+    #[test]
+    fn observe_depths_predicts_per_reference_hits() {
+        let stream = mixed_stream();
+        for (sets, assoc) in [(1u64, 8u64), (4, 2), (16, 1), (8, 4)] {
+            let geom = CacheGeometry::new(sets * assoc * 16, 16, assoc).unwrap();
+            let mut cache = Cache::new(geom);
+            let mut sweep = LruSweep::for_set_counts(&[sets]).unwrap();
+            for &n in &stream {
+                let (cold, depths) = sweep.observe_depths(l(n));
+                let predicted_hit = !cold && u64::from(depths[0]) <= assoc;
+                assert_eq!(
+                    cache.access_line(l(n)).is_hit(),
+                    predicted_hit,
+                    "{sets}x{assoc} at line {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_set_level_is_classic_mattson() {
+        // The 1-set level must agree with StackDistanceProfile (and
+        // therefore FA-LRU) at every capacity.
+        let stream = mixed_stream();
+        let mut sweep = LruSweep::up_to(1).unwrap();
+        let mut profile = crate::StackDistanceProfile::new();
+        for &n in &stream {
+            sweep.observe(l(n));
+            profile.observe(l(n));
+        }
+        for cap in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            assert_eq!(
+                sweep.misses(1, cap),
+                Some(profile.misses_for_capacity(cap as usize)),
+                "capacity {cap}"
+            );
+        }
+        assert_eq!(sweep.cold_refs(), profile.cold_refs());
+        assert_eq!(sweep.total_refs(), profile.total_refs());
+        assert_eq!(sweep.distinct_lines(), profile.distinct_lines());
+    }
+
+    #[test]
+    fn up_to_tracks_all_powers_of_two() {
+        let sweep = LruSweep::up_to(16).unwrap();
+        assert_eq!(sweep.set_counts(), &[1, 2, 4, 8, 16]);
+        assert_eq!(sweep.level_of(8), Some(3));
+        assert_eq!(sweep.level_of(3), None);
+    }
+
+    #[test]
+    fn geometry_queries_and_accessors() {
+        let mut sweep = LruSweep::for_set_counts(&[4]).unwrap();
+        let mut fifo = FifoSweep::new(&[(4, 2)]).unwrap();
+        for &n in &[0u64, 4, 0, 8, 4, 0] {
+            sweep.observe(l(n));
+            fifo.observe(l(n));
+        }
+        let geom = CacheGeometry::new(4 * 2 * 16, 16, 2).unwrap();
+        assert_eq!(
+            sweep.misses_for_geometry(&geom),
+            sweep.misses(4, 2),
+            "geometry helper must agree"
+        );
+        assert_eq!(fifo.misses_for_geometry(&geom), fifo.misses(4, 2));
+        assert_eq!(fifo.cells(), &[(4, 2)]);
+        assert_eq!(fifo.total_refs(), 6);
+        assert_eq!(
+            sweep.miss_rate(4, 2).unwrap(),
+            sweep.misses(4, 2).unwrap() as f64 / 6.0
+        );
+        assert_eq!(sweep.misses(3, 2), None);
+        assert_eq!(sweep.misses(4, 0), None);
+        assert_eq!(fifo.misses(9, 9), None);
+    }
+
+    #[test]
+    fn constructors_reject_bad_shapes() {
+        assert_eq!(
+            LruSweep::for_set_counts(&[]).unwrap_err(),
+            SinglePassError::Empty
+        );
+        assert_eq!(
+            LruSweep::for_set_counts(&[3]).unwrap_err(),
+            SinglePassError::BadSetCount(3)
+        );
+        assert_eq!(
+            LruSweep::for_set_counts(&[0]).unwrap_err(),
+            SinglePassError::BadSetCount(0)
+        );
+        assert_eq!(
+            LruSweep::up_to(12).unwrap_err(),
+            SinglePassError::BadSetCount(12)
+        );
+        assert_eq!(FifoSweep::new(&[]).unwrap_err(), SinglePassError::Empty);
+        assert_eq!(
+            FifoSweep::new(&[(6, 2)]).unwrap_err(),
+            SinglePassError::BadSetCount(6)
+        );
+        assert_eq!(
+            FifoSweep::new(&[(4, 0)]).unwrap_err(),
+            SinglePassError::BadAssociativity(0)
+        );
+        let too_many: Vec<(u64, u64)> = (0..129).map(|i| (1u64, i + 1)).collect();
+        assert!(matches!(
+            FifoSweep::new(&too_many).unwrap_err(),
+            SinglePassError::TooManyCells { requested: 129, .. }
+        ));
+        // Errors render.
+        assert!(SinglePassError::BadSetCount(6)
+            .to_string()
+            .contains("power of two"));
+        assert!(SinglePassError::Empty.to_string().contains("at least one"));
+        assert!(SinglePassError::BadAssociativity(0)
+            .to_string()
+            .contains("nonzero"));
+        assert!(SinglePassError::TooManyCells {
+            requested: 129,
+            max: 128
+        }
+        .to_string()
+        .contains("128"));
+    }
+
+    #[test]
+    fn bounded_sweep_matches_exact_and_oracle_within_bounds() {
+        // The bounded backend must be bit-identical to the Fenwick
+        // backend (and therefore the per-cell oracle) at every cell it
+        // tracks, on both the mixed and the adversarial streams.
+        let mut streams = adversarial_streams();
+        streams.push(mixed_stream());
+        for stream in streams {
+            let counts: Vec<u64> = GRID.iter().map(|&(s, _)| s).collect();
+            let mut exact = LruSweep::for_set_counts(&counts).unwrap();
+            let mut bounded = LruSweep::bounded(&GRID).unwrap();
+            for &n in &stream {
+                exact.observe(l(n));
+                bounded.observe(l(n));
+            }
+            for &(sets, assoc) in &GRID {
+                assert_eq!(
+                    bounded.misses(sets, assoc),
+                    exact.misses(sets, assoc),
+                    "bounded vs exact at {sets}x{assoc}"
+                );
+                assert_eq!(
+                    bounded.misses(sets, assoc),
+                    Some(oracle(&stream, sets, assoc, ReplacementPolicy::Lru)),
+                    "bounded vs oracle at {sets}x{assoc}"
+                );
+            }
+            assert_eq!(bounded.total_refs(), exact.total_refs());
+            assert_eq!(bounded.cold_refs(), exact.cold_refs());
+            assert_eq!(bounded.distinct_lines(), exact.distinct_lines());
+        }
+    }
+
+    #[test]
+    fn bounded_sweep_takes_the_largest_bound_per_set_count() {
+        // (1, 2) and (1, 5) collapse into one level bounded at 5; both
+        // associativities answer, 6 does not.
+        let mut sweep = LruSweep::bounded(&[(1, 2), (1, 5)]).unwrap();
+        let stream = mixed_stream();
+        let mut exact = LruSweep::for_set_counts(&[1]).unwrap();
+        for &n in &stream {
+            sweep.observe(l(n));
+            exact.observe(l(n));
+        }
+        assert_eq!(sweep.set_counts(), &[1]);
+        for assoc in [1u64, 2, 3, 4, 5] {
+            assert_eq!(sweep.misses(1, assoc), exact.misses(1, assoc), "{assoc}");
+        }
+        assert_eq!(sweep.misses(1, 6), None, "beyond the bound");
+        assert!(exact.misses(1, 6).is_some());
+    }
+
+    #[test]
+    fn bounded_depths_predict_per_reference_hits() {
+        // Same per-reference contract as the exact backend, for every
+        // associativity at or below the bound (deeper depths surface as
+        // bound + 1, which correctly predicts a miss).
+        let stream = mixed_stream();
+        for (sets, bound) in [(1u64, 8u64), (4, 2), (16, 1), (8, 4)] {
+            for assoc in [1u64, 2, 4, 8].into_iter().filter(|&a| a <= bound) {
+                let geom = CacheGeometry::new(sets * assoc * 16, 16, assoc).unwrap();
+                let mut cache = Cache::new(geom);
+                let mut sweep = LruSweep::bounded(&[(sets, bound)]).unwrap();
+                for &n in &stream {
+                    let (cold, depths) = sweep.observe_depths(l(n));
+                    let predicted_hit = !cold && u64::from(depths[0]) <= assoc;
+                    assert_eq!(
+                        cache.access_line(l(n)).is_hit(),
+                        predicted_hit,
+                        "{sets} sets, bound {bound}, {assoc} ways at line {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_constructor_rejects_bad_cells() {
+        assert_eq!(LruSweep::bounded(&[]).unwrap_err(), SinglePassError::Empty);
+        assert_eq!(
+            LruSweep::bounded(&[(3, 2)]).unwrap_err(),
+            SinglePassError::BadSetCount(3)
+        );
+        assert_eq!(
+            LruSweep::bounded(&[(4, 0)]).unwrap_err(),
+            SinglePassError::BadAssociativity(0)
+        );
+        assert_eq!(
+            LruSweep::bounded(&[(4, u64::from(u32::MAX) + 1)]).unwrap_err(),
+            SinglePassError::BadAssociativity(u64::from(u32::MAX) + 1)
+        );
+    }
+
+    #[test]
+    fn fifo_duplicate_cells_are_deduplicated() {
+        let sweep = FifoSweep::new(&[(1, 2), (1, 2), (2, 1)]).unwrap();
+        assert_eq!(sweep.cells(), &[(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn compaction_keeps_memory_proportional_to_footprint() {
+        // 100k references over 16 lines: timestamp arenas must stay tiny
+        // (compaction renumbers live stamps instead of growing forever).
+        let mut sweep = LruSweep::for_set_counts(&[1, 4]).unwrap();
+        for i in 0..100_000u64 {
+            sweep.observe(l((i * 7) % 16));
+        }
+        let Backend::Exact { levels, .. } = &sweep.backend else {
+            panic!("for_set_counts builds the exact backend");
+        };
+        for level in levels {
+            for tracker in &level.sets {
+                assert!(
+                    tracker.owner.len() <= 64,
+                    "arena grew to {} entries for a 16-line footprint",
+                    tracker.owner.len()
+                );
+            }
+        }
+        // Still exact after thousands of compactions.
+        let stream: Vec<u64> = (0..100_000u64).map(|i| (i * 7) % 16).collect();
+        assert_eq!(
+            sweep.misses(4, 2),
+            Some(oracle(&stream, 4, 2, ReplacementPolicy::Lru))
+        );
+    }
+}

@@ -35,6 +35,16 @@ impl Fenwick {
         }
     }
 
+    /// Preallocates for timestamps up to `max_timestamp`, so a profile
+    /// over a stream of known length never pays a doubling rebuild.
+    fn with_capacity(max_timestamp: usize) -> Self {
+        let len = (max_timestamp + 1).next_power_of_two().max(2);
+        Fenwick {
+            tree: vec![0; len],
+            raw: vec![0; len],
+        }
+    }
+
     fn grow_to(&mut self, idx: usize) {
         if idx < self.raw.len() {
             return;
@@ -120,6 +130,20 @@ impl StackDistanceProfile {
     /// Creates an empty profile.
     pub fn new() -> Self {
         StackDistanceProfile::default()
+    }
+
+    /// Creates an empty profile preallocated for `refs_hint` references.
+    ///
+    /// Timestamps advance once per [`Self::observe`], so a caller that
+    /// knows the stream length (e.g. a memoized trace) can size the
+    /// Fenwick tree once up front instead of paying O(n) doubling
+    /// rebuilds as the pass runs. Observing more than `refs_hint`
+    /// references is still correct — the tree falls back to growing.
+    pub fn with_capacity(refs_hint: usize) -> Self {
+        StackDistanceProfile {
+            marks: Fenwick::with_capacity(refs_hint),
+            ..StackDistanceProfile::default()
+        }
     }
 
     /// Observes one reference.
@@ -272,6 +296,34 @@ mod tests {
         // Very large capacity leaves only compulsory misses.
         let last = curve.last().unwrap().1;
         assert!((last - p.cold_refs() as f64 / p.total_refs() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_capacity_is_identical_and_never_regrows() {
+        let stream: Vec<u64> = (0..2000u64).map(|i| (i * 31 + i / 7) % 97).collect();
+        let mut plain = StackDistanceProfile::new();
+        let mut hinted = StackDistanceProfile::with_capacity(stream.len());
+        let initial_len = hinted.marks.raw.len();
+        assert!(initial_len > stream.len());
+        for &n in &stream {
+            plain.observe(l(n));
+            hinted.observe(l(n));
+        }
+        assert_eq!(hinted.marks.raw.len(), initial_len, "hinted tree regrew");
+        for cap in [1usize, 3, 8, 50, 97, 200] {
+            assert_eq!(
+                plain.misses_for_capacity(cap),
+                hinted.misses_for_capacity(cap),
+                "capacity {cap}"
+            );
+        }
+        assert_eq!(plain.cold_refs(), hinted.cold_refs());
+        // Under-hinting stays correct by falling back to growth.
+        let mut tiny = StackDistanceProfile::with_capacity(4);
+        for &n in &stream {
+            tiny.observe(l(n));
+        }
+        assert_eq!(tiny.misses_for_capacity(50), plain.misses_for_capacity(50));
     }
 
     #[test]

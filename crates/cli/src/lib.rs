@@ -24,7 +24,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-use jouppi_cache::{CacheGeometry, MissClassifier};
+use jouppi_cache::{CacheGeometry, FifoSweep, LruSweep, MissClassifier};
 use jouppi_core::{AugmentedCache, AugmentedConfig, StreamBufferConfig};
 use jouppi_report::Table;
 use jouppi_system::{SystemConfig, SystemModel};
@@ -89,6 +89,9 @@ pub struct Options {
     pub export: Option<String>,
     /// Run the full two-level system instead of one cache.
     pub system: Option<SystemMode>,
+    /// Sweep every power-of-two (size, associativity) cell under LRU and
+    /// FIFO in one pass instead of simulating one cache.
+    pub geometry_sweep: bool,
 }
 
 impl Default for Options {
@@ -106,6 +109,7 @@ impl Default for Options {
             classify: false,
             export: None,
             system: None,
+            geometry_sweep: false,
         }
     }
 }
@@ -142,6 +146,8 @@ usage: jouppi-sim [OPTIONS]
   --classify             also report the 3-C miss breakdown
   --export FILE          write the reference stream as a din file and exit
   --system baseline|improved  run the full two-level machine instead
+  --geometry-sweep       miss rates for every 1K-128K size x 1-16 way cell
+                         under LRU and FIFO, from one pass over the trace
   --help                 show this message";
 
 /// Parses command-line arguments (excluding `argv[0]`).
@@ -244,12 +250,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Us
                     }
                 });
             }
+            "--geometry-sweep" => opts.geometry_sweep = true,
             "--help" | "-h" => return Err(err(USAGE)),
             other => return Err(err(format!("unknown argument '{other}'\n{USAGE}"))),
         }
     }
     if opts.victim > 0 && opts.miss_cache > 0 {
         return Err(err("--victim and --miss-cache are mutually exclusive"));
+    }
+    if opts.geometry_sweep && (opts.system.is_some() || opts.export.is_some()) {
+        return Err(err(
+            "--geometry-sweep is a whole-grid report; it cannot combine \
+             with --system or --export",
+        ));
     }
     Ok(opts)
 }
@@ -301,6 +314,10 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn std::error::Error>> {
             trace.len(),
             trace.name()
         ));
+    }
+
+    if opts.geometry_sweep {
+        return Ok(geometry_sweep_report(&trace, opts));
     }
 
     if let Some(mode) = opts.system {
@@ -362,6 +379,79 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn std::error::Error>> {
         out.push_str(&format!("\n3-C breakdown: {}\n", cls.breakdown()));
     }
     Ok(out)
+}
+
+/// Line size the geometry sweep uses (the paper's base line size).
+const SWEEP_LINE: u64 = 16;
+
+/// Cache sizes swept: every power of two from 1KB to 128KB.
+const SWEEP_SIZES: [u64; 8] = [
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+];
+
+/// Associativities swept at each size.
+const SWEEP_ASSOCS: [u64; 5] = [1, 2, 4, 8, 16];
+
+/// One pass over the trace, miss rates for every (size, associativity)
+/// cell under both LRU (via set-refined stack distances) and FIFO.
+fn geometry_sweep_report(trace: &RecordedTrace, opts: &Options) -> String {
+    let lines: Vec<_> = trace
+        .refs()
+        .filter(|r| match opts.side {
+            SideFilter::Instruction => r.kind.is_instr(),
+            SideFilter::Data => r.kind.is_data(),
+            SideFilter::All => true,
+        })
+        .map(|r| r.addr.line(SWEEP_LINE))
+        .collect();
+    let grid: Vec<CacheGeometry> = SWEEP_SIZES
+        .iter()
+        .flat_map(|&size| {
+            SWEEP_ASSOCS
+                .iter()
+                .filter_map(move |&assoc| CacheGeometry::new(size, SWEEP_LINE, assoc).ok())
+        })
+        .collect();
+    let cells: Vec<(u64, u64)> = grid
+        .iter()
+        .map(|g| (g.num_sets(), g.associativity()))
+        .collect();
+    let mut lru = LruSweep::bounded(&cells).expect("grid cells are valid");
+    let mut fifo = FifoSweep::new(&cells).expect("grid is well within the cell limit");
+    for &line in &lines {
+        lru.observe(line);
+        fifo.observe(line);
+    }
+    let total = lines.len() as u64;
+    let rate = |misses: u64| {
+        if total == 0 {
+            "-".to_owned()
+        } else {
+            format!("{:.4}", misses as f64 / total as f64)
+        }
+    };
+    let mut t = Table::new(["size", "assoc", "LRU miss rate", "FIFO miss rate"]);
+    for g in &grid {
+        t.row([
+            format!("{}K", g.size() >> 10),
+            g.associativity().to_string(),
+            rate(lru.misses_for_geometry(g).expect("cell tracked")),
+            rate(fifo.misses_for_geometry(g).expect("cell tracked")),
+        ]);
+    }
+    format!(
+        "geometry sweep over {} ({} refs, one pass per policy):\n{}",
+        trace.name(),
+        total,
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -486,6 +576,32 @@ mod tests {
         let out2 = run(&o2).unwrap();
         assert!(out2.contains("demand miss rate"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn geometry_sweep_flag_parses_and_rejects_other_modes() {
+        let o = parse(&["--geometry-sweep"]).unwrap();
+        assert!(o.geometry_sweep);
+        assert!(!Options::default().geometry_sweep);
+        assert!(parse(&["--geometry-sweep", "--system", "baseline"]).is_err());
+        assert!(parse(&["--geometry-sweep", "--export", "x.din"]).is_err());
+    }
+
+    #[test]
+    fn geometry_sweep_reports_every_cell() {
+        let mut o = parse(&["--workload", "met", "--geometry-sweep"]).unwrap();
+        o.scale = 5_000;
+        let out = run(&o).unwrap();
+        assert!(out.contains("geometry sweep"));
+        assert!(out.contains("FIFO miss rate"));
+        // All 40 grid cells render: 8 sizes x 5 associativities.
+        for size in ["1K", "2K", "4K", "8K", "16K", "32K", "64K", "128K"] {
+            let rows = out
+                .lines()
+                .filter(|l| l.split_whitespace().next() == Some(size))
+                .count();
+            assert_eq!(rows, 5, "{size} rows");
+        }
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub fn run(cfg: &ExperimentConfig, mechanism: Mechanism, max_entries: usize) -> 
     let geom = baseline_l1();
     let traces = record_traces(cfg);
     let cfgs: Vec<_> = (1..=max_entries).map(|n| mechanism.config(n)).collect();
-    let rows = sweep::map_jobs(traces.len() * 2, |cell| {
+    let jobs = traces.len() * 2;
+    let total: u64 = traces.iter().map(|(_, t)| t.len() as u64).sum();
+    // Each cell classifies once, then replays its side once per config.
+    let refs_per_job = total / jobs as u64 * (1 + cfgs.len() as u64);
+    let rows = sweep::map_jobs_sized(jobs, refs_per_job, |cell| {
         let (_, trace) = &traces[cell / 2];
         let side = Side::BOTH[cell % 2];
         let (_, breakdown) = classify_side(trace, side, geom);

@@ -9,12 +9,13 @@
 //! direct-mapped cache's *miss rate* to a genuinely set-associative
 //! cache of the same capacity.
 
-use jouppi_cache::CacheGeometry;
+use jouppi_cache::{CacheGeometry, LruSweep};
 use jouppi_core::AugmentedConfig;
 use jouppi_report::{rate, Table};
 use jouppi_workloads::Benchmark;
 
 use crate::common::{average, per_benchmark, run_side, ExperimentConfig, Side};
+use crate::sweep;
 
 /// One benchmark's data-side miss rates under each organization.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -41,22 +42,47 @@ pub struct ExtAssociativity {
 }
 
 /// Runs the ablation.
+///
+/// The three *pure* LRU columns (direct, 2-way, 4-way) come from one
+/// set-refined [`LruSweep`] pass over the 4KB geometries' set counts —
+/// bit-identical rates to the replaced per-cell simulations (same miss
+/// counts over the same denominator, pinned by the
+/// `single_pass_matches_per_cell_simulation` test). The victim-cache
+/// columns are augmented organizations, which the single-pass engine
+/// cannot express; they stay on [`run_side`]'s simulator.
 pub fn run(cfg: &ExperimentConfig) -> ExtAssociativity {
     let dm = CacheGeometry::direct_mapped(4096, 16).expect("valid");
-    let sa2 = CacheGeometry::new(4096, 16, 2).expect("valid");
-    let sa4 = CacheGeometry::new(4096, 16, 4).expect("valid");
+    let geoms = [
+        dm,
+        CacheGeometry::new(4096, 16, 2).expect("valid"),
+        CacheGeometry::new(4096, 16, 4).expect("valid"),
+    ];
+    let cells: Vec<(u64, u64)> = geoms
+        .iter()
+        .map(|g| (g.num_sets(), g.associativity()))
+        .collect();
     let rows = per_benchmark(cfg, |b, trace| {
+        let lines = Side::Data
+            .view(trace)
+            .lines_for(16)
+            .expect("16B lines are pre-derived for the baseline line size");
+        let mut pure = LruSweep::bounded(&cells).expect("valid cells");
+        for &line in lines {
+            pure.observe(line);
+        }
+        sweep::note_single_pass_refs(lines.len() as u64);
+        let pure_rate = |geom: &CacheGeometry| pure.miss_rate_for_geometry(geom).expect("tracked");
         let miss_rate = |aug: AugmentedConfig| {
             let s = run_side(trace, Side::Data, aug);
             s.demand_miss_rate()
         };
         AssocRow {
             benchmark: b,
-            direct: miss_rate(AugmentedConfig::new(dm)),
+            direct: pure_rate(&geoms[0]),
             vc1: miss_rate(AugmentedConfig::new(dm).victim_cache(1)),
             vc4: miss_rate(AugmentedConfig::new(dm).victim_cache(4)),
-            two_way: miss_rate(AugmentedConfig::new(sa2)),
-            four_way: miss_rate(AugmentedConfig::new(sa4)),
+            two_way: pure_rate(&geoms[1]),
+            four_way: pure_rate(&geoms[2]),
         }
     })
     .into_iter()
@@ -138,6 +164,28 @@ mod tests {
         let closed = e.gap_closed_by_vc4();
         assert!(closed > 0.5, "gap closed only {closed}");
         assert!(e.render().contains("2-way"));
+    }
+
+    #[test]
+    fn single_pass_matches_per_cell_simulation() {
+        // The pure columns' rates must be bit-identical to what the
+        // demoted per-cell simulator computes for the same geometries.
+        let cfg = ExperimentConfig::with_scale(20_000);
+        let e = run(&cfg);
+        let oracle = per_benchmark(&cfg, |_, trace| {
+            let miss_rate =
+                |geom| run_side(trace, Side::Data, AugmentedConfig::new(geom)).demand_miss_rate();
+            (
+                miss_rate(CacheGeometry::direct_mapped(4096, 16).unwrap()),
+                miss_rate(CacheGeometry::new(4096, 16, 2).unwrap()),
+                miss_rate(CacheGeometry::new(4096, 16, 4).unwrap()),
+            )
+        });
+        for (row, (b, (direct, two_way, four_way))) in e.rows.iter().zip(oracle) {
+            assert_eq!(row.direct, direct, "{b} direct");
+            assert_eq!(row.two_way, two_way, "{b} 2-way");
+            assert_eq!(row.four_way, four_way, "{b} 4-way");
+        }
     }
 
     #[test]

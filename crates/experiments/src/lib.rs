@@ -28,6 +28,7 @@
 //! | [`ext_penalty`] | mechanism value vs miss penalty (Table 1-1's range) |
 //! | [`ext_working_set`] | working-set curves via exact stack distances |
 //! | [`ext_pollution`] | prefetch-into-cache pollution vs stream buffers |
+//! | [`single_pass`] | full size × associativity × policy grid in one pass per side |
 //! | [`ext_seed`] | seed-sensitivity of the Figure 5-1 headline |
 //! | [`ext_write_bandwidth`] | §2's store-bandwidth argument for a pipelined L2 |
 //!
@@ -70,6 +71,7 @@ pub mod fig_3_1;
 pub mod fig_4_1;
 pub mod fig_5_1;
 pub mod overlap;
+pub mod single_pass;
 pub mod stream_geometry;
 pub mod stream_sweep;
 pub mod sweep;

@@ -56,7 +56,11 @@ pub fn run(cfg: &ExperimentConfig, ways: usize, max_run: usize) -> StreamSweep {
     let geom = baseline_l1();
     let traces = record_traces(cfg);
     let cfgs: Vec<_> = (0..=max_run).map(|run| config(ways, run)).collect();
-    let rows = sweep::map_jobs(traces.len() * 2, |cell| {
+    let jobs = traces.len() * 2;
+    let total: u64 = traces.iter().map(|(_, t)| t.len() as u64).sum();
+    // Each cell classifies once, then replays its side once per config.
+    let refs_per_job = total / jobs as u64 * (1 + cfgs.len() as u64);
+    let rows = sweep::map_jobs_sized(jobs, refs_per_job, |cell| {
         let (_, trace) = &traces[cell / 2];
         let side = Side::BOTH[cell % 2];
         let misses = classify_side(trace, side, geom).0;

@@ -34,11 +34,31 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// `jouppi serve`'s `/metrics`); monotonically increasing.
 static CELLS_EXECUTED: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide count of references answered by the single-pass
+/// multi-geometry engine (`jouppi_single_pass_refs_total` on `/metrics`);
+/// monotonically increasing.
+static SINGLE_PASS_REFS: AtomicU64 = AtomicU64::new(0);
+
 /// Total jobs run through [`map_jobs`] since process start.
 pub fn cells_executed() -> u64 {
     // jouppi-lint: allow(relaxed-ordering) — point-in-time sample of a
     // monotone observability counter; exact under any ordering.
     CELLS_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// Total references answered by single-pass engines since process start.
+pub fn single_pass_refs() -> u64 {
+    // jouppi-lint: allow(relaxed-ordering) — point-in-time sample of a
+    // monotone observability counter; exact under any ordering.
+    SINGLE_PASS_REFS.load(Ordering::Relaxed)
+}
+
+/// Records `n` references answered by a single-pass engine.
+pub fn note_single_pass_refs(n: u64) {
+    // jouppi-lint: allow(relaxed-ordering) — atomic RMW on a monotone
+    // counter loses no increments; ordering only affects when other
+    // threads see them, not the total.
+    SINGLE_PASS_REFS.fetch_add(n, Ordering::Relaxed);
 }
 
 /// Overrides the worker count for all subsequent sweeps in this process,
@@ -137,6 +157,33 @@ pub fn map_jobs<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     .expect("a sweep worker panicked")
 }
 
+/// Below this many references per job, thread spawn/channel overhead
+/// outweighs the parallel win and a sweep runs faster sequentially
+/// (BENCH_sweep.json showed the fig_3_1 fused schedule *losing* ~19% at
+/// 2 threads on a 60k-scale run whose jobs replay ~42k references each).
+pub const MIN_PARALLEL_REFS_PER_JOB: u64 = 150_000;
+
+/// Like [`map_jobs`], but sized: `refs_per_job` is the approximate
+/// number of trace references each job will replay. Sweeps whose jobs
+/// fall below [`MIN_PARALLEL_REFS_PER_JOB`] run sequentially on the
+/// calling thread — same results in the same order (pinned by the
+/// `sized_schedule_is_bit_identical` test), without paying thread
+/// startup for work that finishes in microseconds.
+pub fn map_jobs_sized<T: Send>(
+    n: usize,
+    refs_per_job: u64,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if refs_per_job < MIN_PARALLEL_REFS_PER_JOB {
+        // jouppi-lint: allow(relaxed-ordering) — atomic RMW on a monotone
+        // counter loses no increments; ordering only affects when other
+        // threads see them, not the total.
+        CELLS_EXECUTED.fetch_add(n as u64, Ordering::Relaxed);
+        return (0..n).map(f).collect();
+    }
+    map_jobs(n, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +223,31 @@ mod tests {
         assert_eq!(thread_count(), 3);
         set_thread_count(0);
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn sized_schedule_is_bit_identical() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let work = |i: usize| (0..500).fold(i as u64, |a, x| a.wrapping_mul(31).wrapping_add(x));
+        set_thread_count(4);
+        let parallel = map_jobs(24, work);
+        // Tiny jobs: runs sequentially despite the 4-thread override...
+        let small = map_jobs_sized(24, MIN_PARALLEL_REFS_PER_JOB - 1, work);
+        // ...big jobs: delegates to the parallel pool.
+        let big = map_jobs_sized(24, MIN_PARALLEL_REFS_PER_JOB, work);
+        set_thread_count(0);
+        assert_eq!(small, parallel);
+        assert_eq!(big, parallel);
+    }
+
+    #[test]
+    fn sized_schedule_counts_cells_and_single_pass_refs() {
+        let before = cells_executed();
+        let _ = map_jobs_sized(5, 0, |i| i);
+        assert_eq!(cells_executed() - before, 5);
+        let before = single_pass_refs();
+        note_single_pass_refs(123);
+        assert_eq!(single_pass_refs() - before, 123);
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub struct Sampled {
     pub refs_simulated: u64,
     /// Sweep-engine cells executed process-wide.
     pub sweep_cells: u64,
+    /// References answered by the single-pass multi-geometry engine
+    /// (`jouppi_experiments::sweep::single_pass_refs`).
+    pub single_pass_refs: u64,
     /// Replay throughput (refs/s) of the last completed named sweep.
     pub refs_per_second: u64,
 }
@@ -155,7 +158,7 @@ impl Registry {
                 histogram.render(endpoint, &mut out);
             }
         }
-        let gauges: [(&str, &str, u64); 7] = [
+        let gauges: [(&str, &str, u64); 8] = [
             (
                 "jouppi_jobs_queue_depth",
                 "Jobs waiting in the bounded queue.",
@@ -185,6 +188,11 @@ impl Registry {
                 "jouppi_sweep_cells_total",
                 "Sweep-engine cells executed.",
                 sampled.sweep_cells,
+            ),
+            (
+                "jouppi_single_pass_refs_total",
+                "References answered by the single-pass multi-geometry engine.",
+                sampled.single_pass_refs,
             ),
             (
                 "jouppi_refs_per_second",
@@ -224,6 +232,7 @@ mod tests {
             connections: 3,
             refs_simulated: 1_000,
             sweep_cells: 12,
+            single_pass_refs: 555,
             refs_per_second: 1_234,
         });
         assert!(text.contains("jouppi_http_requests_total{endpoint=\"healthz\",status=\"200\"} 2"));
@@ -235,6 +244,8 @@ mod tests {
         assert!(text.contains("jouppi_jobs_queue_depth 2"));
         assert!(text.contains("jouppi_jobs_completed_total 7"));
         assert!(text.contains("jouppi_refs_simulated_total 1000"));
+        assert!(text.contains("# TYPE jouppi_single_pass_refs_total counter"));
+        assert!(text.contains("jouppi_single_pass_refs_total 555"));
         assert!(text.contains("# TYPE jouppi_refs_per_second gauge"));
         assert!(text.contains("jouppi_refs_per_second 1234"));
         assert_eq!(r.requests_for("healthz"), 2);

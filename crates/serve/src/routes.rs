@@ -6,7 +6,7 @@
 //! registry.
 
 use jouppi_experiments::common::refs_simulated;
-use jouppi_experiments::sweep::cells_executed;
+use jouppi_experiments::sweep::{cells_executed, single_pass_refs};
 
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -64,6 +64,7 @@ fn metrics(ctx: &Ctx) -> Response {
         connections: ctx.open_connections(),
         refs_simulated: refs_simulated(),
         sweep_cells: cells_executed(),
+        single_pass_refs: single_pass_refs(),
         refs_per_second: sweeps::last_sweep_refs_per_second(),
     };
     let mut resp = Response::text(200, ctx.metrics.render(&sampled));
@@ -111,6 +112,23 @@ fn sweep(ctx: &Ctx, req: &Request) -> Response {
             ),
         );
     }
+    let engines = sweeps::engines_for(name);
+    let engine = match body.get("engine").and_then(Json::as_str) {
+        None => engines[0],
+        Some(requested) => match engines.iter().find(|&&e| e == requested) {
+            Some(&engine) => engine,
+            None => {
+                return Response::error(
+                    400,
+                    format!(
+                        "unknown engine '{requested}' for sweep '{name}'; \
+                         valid engines: {}",
+                        engines.join(", ")
+                    ),
+                );
+            }
+        },
+    };
     let scale = match sim::get_u64(&body, "scale", DEFAULT_SWEEP_SCALE) {
         Ok(scale) => scale,
         Err(msg) => return Response::error(400, msg),
@@ -129,7 +147,8 @@ fn sweep(ctx: &Ctx, req: &Request) -> Response {
     let job = {
         let job_name = job_name.clone();
         Box::new(move || {
-            sweeps::run_named(&job_name, &cfg).ok_or_else(|| "sweep vanished".to_owned())
+            sweeps::run_named_engine(&job_name, &cfg, engine)
+                .ok_or_else(|| "sweep vanished".to_owned())
         })
     };
     let id = match ctx.queue.submit(job_name.clone(), job) {

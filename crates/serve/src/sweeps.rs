@@ -10,7 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use jouppi_experiments::common::{refs_simulated, ExperimentConfig};
-use jouppi_experiments::{conflict_sweep, fig_3_1, stream_sweep};
+use jouppi_experiments::sweep::single_pass_refs;
+use jouppi_experiments::{conflict_sweep, fig_3_1, single_pass, stream_sweep};
 use jouppi_workloads::Scale;
 
 use crate::json::Json;
@@ -30,13 +31,28 @@ pub fn last_sweep_refs_per_second() -> u64 {
 }
 
 /// The sweeps the service knows how to run.
-pub const NAMED_SWEEPS: [&str; 5] = [
+pub const NAMED_SWEEPS: [&str; 6] = [
     "fig_3_1",
     "miss_cache_4",
     "victim_cache_4",
     "stream_single_8",
     "stream_four_8",
+    "geometry_grid",
 ];
+
+/// The execution engines a named sweep accepts (first = default).
+///
+/// Pure size × associativity sweeps route to the single-pass Mattson
+/// engine; sweeps whose cells augment the L1 (victim caches, stream
+/// buffers) stay on the fused gang engine, which is the only one that
+/// can express them.
+pub fn engines_for(name: &str) -> &'static [&'static str] {
+    match name {
+        "fig_3_1" => &["classify", "single_pass"],
+        "geometry_grid" => &["single_pass", "per_cell"],
+        _ => &["fused"],
+    }
+}
 
 /// Hard cap on `scale` for a queued sweep.
 pub const MAX_SWEEP_SCALE: u64 = 2_000_000;
@@ -59,29 +75,41 @@ pub fn sweep_config(scale: u64, seed: u64) -> Result<ExperimentConfig, String> {
     })
 }
 
-/// Runs the named sweep and encodes its result; `None` for an unknown
-/// name (the router 400s with the [`NAMED_SWEEPS`] catalog).
+/// Runs the named sweep on its default engine. See [`run_named_engine`].
 pub fn run_named(name: &str, cfg: &ExperimentConfig) -> Option<Json> {
-    let refs_before = refs_simulated();
+    run_named_engine(name, cfg, engines_for(name).first()?)
+}
+
+/// Runs the named sweep on the given engine and encodes its result;
+/// `None` for an unknown name or an engine the sweep does not accept
+/// (the router 400s with the [`NAMED_SWEEPS`] / [`engines_for`]
+/// catalogs).
+pub fn run_named_engine(name: &str, cfg: &ExperimentConfig, engine: &str) -> Option<Json> {
+    let refs_before = refs_simulated() + single_pass_refs();
     let start = Instant::now();
-    let body = match name {
-        "fig_3_1" => fig31_json(&fig_3_1::run(cfg)),
-        "miss_cache_4" => conflict_json(&conflict_sweep::run(
+    let body = match (name, engine) {
+        ("fig_3_1", "classify") => fig31_json(&fig_3_1::run(cfg)),
+        ("fig_3_1", "single_pass") => fig31_json(&fig_3_1::run_single_pass(cfg)),
+        ("miss_cache_4", "fused") => conflict_json(&conflict_sweep::run(
             cfg,
             conflict_sweep::Mechanism::MissCache,
             4,
         )),
-        "victim_cache_4" => conflict_json(&conflict_sweep::run(
+        ("victim_cache_4", "fused") => conflict_json(&conflict_sweep::run(
             cfg,
             conflict_sweep::Mechanism::VictimCache,
             4,
         )),
-        "stream_single_8" => stream_json(&stream_sweep::run(cfg, 1, 8)),
-        "stream_four_8" => stream_json(&stream_sweep::run(cfg, 4, 8)),
+        ("stream_single_8", "fused") => stream_json(&stream_sweep::run(cfg, 1, 8)),
+        ("stream_four_8", "fused") => stream_json(&stream_sweep::run(cfg, 4, 8)),
+        ("geometry_grid", "single_pass") => geometry_json(&single_pass::run(cfg)),
+        ("geometry_grid", "per_cell") => geometry_json(&single_pass::run_per_cell(cfg)),
         _ => return None,
     };
     let seconds = start.elapsed().as_secs_f64();
-    let refs = refs_simulated().saturating_sub(refs_before);
+    // Both engine families feed the throughput gauge: per-cell replays
+    // count via refs_simulated, one-pass traversals via single_pass_refs.
+    let refs = (refs_simulated() + single_pass_refs()).saturating_sub(refs_before);
     if seconds > 0.0 && refs > 0 {
         // jouppi-lint: allow(relaxed-ordering) — single-word gauge store;
         // no other memory is published alongside it.
@@ -89,6 +117,7 @@ pub fn run_named(name: &str, cfg: &ExperimentConfig) -> Option<Json> {
     }
     let mut doc = vec![
         ("sweep".to_owned(), Json::str(name)),
+        ("engine".to_owned(), Json::str(engine)),
         ("scale".to_owned(), Json::Int(cfg.scale.instructions as i64)),
         ("seed".to_owned(), Json::Int(cfg.seed as i64)),
     ];
@@ -162,6 +191,51 @@ fn conflict_json(s: &conflict_sweep::ConflictSweep) -> Vec<(String, Json)> {
     ]
 }
 
+fn geometry_json(s: &single_pass::GeometrySweep) -> Vec<(String, Json)> {
+    let cell_json = |c: &single_pass::GeometryCell| {
+        Json::obj([
+            ("size", Json::Int(c.size as i64)),
+            ("assoc", Json::Int(c.associativity as i64)),
+            ("lru_misses", Json::Int(c.lru_misses as i64)),
+            ("fifo_misses", Json::Int(c.fifo_misses as i64)),
+        ])
+    };
+    let rows = s
+        .rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(r.benchmark.name())),
+                ("instr_refs", Json::Int(r.instr_refs as i64)),
+                ("data_refs", Json::Int(r.data_refs as i64)),
+                ("instr", Json::Arr(r.instr.iter().map(cell_json).collect())),
+                ("data", Json::Arr(r.data.iter().map(cell_json).collect())),
+            ])
+        })
+        .collect();
+    vec![
+        (
+            "sizes".to_owned(),
+            Json::Arr(
+                single_pass::SIZES
+                    .iter()
+                    .map(|&s| Json::Int(s as i64))
+                    .collect(),
+            ),
+        ),
+        (
+            "assocs".to_owned(),
+            Json::Arr(
+                single_pass::ASSOCS
+                    .iter()
+                    .map(|&a| Json::Int(a as i64))
+                    .collect(),
+            ),
+        ),
+        ("rows".to_owned(), Json::Arr(rows)),
+    ]
+}
+
 fn stream_json(s: &stream_sweep::StreamSweep) -> Vec<(String, Json)> {
     let benchmarks = s
         .benchmarks
@@ -229,5 +303,50 @@ mod tests {
         let s = run_named("stream_single_8", &cfg).unwrap();
         assert_eq!(s.get("ways").unwrap().as_i64(), Some(1));
         assert_eq!(s.get("run_lengths").unwrap().as_arr().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn every_sweep_reports_its_default_engine() {
+        for name in NAMED_SWEEPS {
+            let default = engines_for(name)[0];
+            assert!(
+                ["classify", "single_pass", "fused", "per_cell"].contains(&default),
+                "{name}: unexpected default {default}"
+            );
+        }
+        let cfg = sweep_config(5_000, 42).unwrap();
+        let v = run_named("victim_cache_4", &cfg).unwrap();
+        assert_eq!(v.get("engine").unwrap(), &Json::str("fused"));
+    }
+
+    #[test]
+    fn geometry_grid_engines_agree_and_encode() {
+        let cfg = sweep_config(5_000, 42).unwrap();
+        let fast = run_named_engine("geometry_grid", &cfg, "single_pass").unwrap();
+        let oracle = run_named_engine("geometry_grid", &cfg, "per_cell").unwrap();
+        assert_eq!(fast.get("engine").unwrap(), &Json::str("single_pass"));
+        assert_eq!(oracle.get("engine").unwrap(), &Json::str("per_cell"));
+        // Identical payload modulo the engine tag.
+        assert_eq!(fast.get("rows"), oracle.get("rows"));
+        assert_eq!(fast.get("rows").unwrap().as_arr().unwrap().len(), 6);
+        assert_eq!(fast.get("sizes").unwrap().as_arr().unwrap().len(), 8);
+        // Default engine is the single-pass one.
+        assert_eq!(
+            run_named("geometry_grid", &cfg).unwrap().encode(),
+            fast.encode()
+        );
+        // The round trip survives.
+        assert_eq!(Json::parse(&fast.encode()).unwrap(), fast);
+    }
+
+    #[test]
+    fn fig_3_1_engines_agree() {
+        let cfg = sweep_config(5_000, 42).unwrap();
+        let classify = run_named_engine("fig_3_1", &cfg, "classify").unwrap();
+        let single = run_named_engine("fig_3_1", &cfg, "single_pass").unwrap();
+        assert_eq!(classify.get("rows"), single.get("rows"));
+        // Engines a sweep does not accept are rejected.
+        assert!(run_named_engine("fig_3_1", &cfg, "fused").is_none());
+        assert!(run_named_engine("victim_cache_4", &cfg, "single_pass").is_none());
     }
 }

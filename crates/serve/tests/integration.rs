@@ -131,6 +131,50 @@ fn sweep_matches_in_process_run_bit_for_bit() {
 }
 
 #[test]
+fn engine_field_selects_the_single_pass_engine() {
+    let handle = start(ServerConfig::default());
+    let mut c = client(&handle);
+
+    let cfg = ExperimentConfig {
+        scale: Scale::new(20_000),
+        seed: 42,
+    };
+    let mut expected = sweeps::run_named_engine("fig_3_1", &cfg, "single_pass")
+        .unwrap()
+        .encode();
+    expected.push('\n');
+
+    let resp = c
+        .request(
+            "POST",
+            "/v1/sweep",
+            Some(&json(
+                r#"{"sweep":"fig_3_1","engine":"single_pass","scale":20000,"wait":true}"#,
+            )),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(
+        resp.text(),
+        expected,
+        "served engine differs from in-process"
+    );
+    let doc = resp.json().unwrap();
+    assert_eq!(doc.get("engine").unwrap(), &Json::str("single_pass"));
+
+    // The one-pass engine's work shows up on /metrics.
+    let text = c.request("GET", "/metrics", None).unwrap().text();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("jouppi_single_pass_refs_total"))
+        .expect("single-pass counter exported");
+    let refs: u64 = line.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(refs > 0, "single-pass engine counted nothing: {line}");
+
+    handle.shutdown();
+}
+
+#[test]
 fn simulate_runs_synchronously() {
     let handle = start(ServerConfig::default());
     let mut c = client(&handle);
@@ -207,6 +251,13 @@ fn malformed_requests_get_4xx_not_a_crash() {
             "POST",
             "/v1/sweep",
             Some(json(r#"{"sweep":"fig_3_1","scale":0}"#)),
+            400,
+        ),
+        (
+            // "fused" exists, but not for this sweep.
+            "POST",
+            "/v1/sweep",
+            Some(json(r#"{"sweep":"fig_3_1","engine":"fused"}"#)),
             400,
         ),
         (

@@ -7,7 +7,8 @@
 #![cfg(feature = "proptest")]
 
 use jouppi::cache::{
-    Cache, CacheGeometry, LruSet, MissClassifier, ReplacementPolicy, StackDistanceProfile,
+    Cache, CacheGeometry, FifoSweep, LruSet, LruSweep, MissClassifier, ReplacementPolicy,
+    StackDistanceProfile,
 };
 use jouppi::core::{AugmentedCache, AugmentedConfig, StreamBufferConfig, VictimCache};
 use jouppi::trace::LineAddr;
@@ -201,6 +202,83 @@ proptest! {
         // Compulsory count equals distinct lines.
         let distinct: std::collections::HashSet<_> = stream.iter().collect();
         prop_assert_eq!(profile.cold_refs() as usize, distinct.len());
+    }
+
+    /// Set refinement: the within-set stack distance at S sets predicts
+    /// an S-set A-way LRU cache's hit/miss per reference (hit ⇔ not a
+    /// first touch and depth ≤ A), on arbitrary streams.
+    #[test]
+    fn within_set_depth_predicts_set_assoc_lru(stream in line_stream(128, 400)) {
+        for (sets, assoc) in [(1u64, 4u64), (4, 1), (4, 2), (8, 4), (16, 2)] {
+            let geom = CacheGeometry::new(sets * assoc * 16, 16, assoc).unwrap();
+            let mut cache = Cache::new(geom);
+            let mut sweep = LruSweep::for_set_counts(&[sets]).unwrap();
+            for &n in &stream {
+                let line = LineAddr::new(n);
+                let (cold, depths) = sweep.observe_depths(line);
+                let predicted_hit = !cold && u64::from(depths[0]) <= assoc;
+                prop_assert_eq!(
+                    cache.access_line(line).is_hit(),
+                    predicted_hit,
+                    "{} sets x {} ways at line {}", sets, assoc, n
+                );
+            }
+            prop_assert_eq!(
+                sweep.misses(sets, assoc),
+                Some(cache.stats().misses)
+            );
+        }
+    }
+
+    /// The bounded LRU backend equals the exact Fenwick backend at every
+    /// associativity up to each level's bound, and declines to answer
+    /// beyond it, on arbitrary streams.
+    #[test]
+    fn bounded_lru_sweep_matches_exact_within_bounds(stream in line_stream(128, 400)) {
+        let cells = [(1u64, 6u64), (2, 3), (8, 2), (16, 1)];
+        let counts: Vec<u64> = cells.iter().map(|&(s, _)| s).collect();
+        let mut exact = LruSweep::for_set_counts(&counts).unwrap();
+        let mut bounded = LruSweep::bounded(&cells).unwrap();
+        for &n in &stream {
+            exact.observe(LineAddr::new(n));
+            bounded.observe(LineAddr::new(n));
+        }
+        for (sets, bound) in cells {
+            for assoc in 1..=bound {
+                prop_assert_eq!(
+                    bounded.misses(sets, assoc),
+                    exact.misses(sets, assoc),
+                    "{} sets x {} ways (bound {})", sets, assoc, bound
+                );
+            }
+            prop_assert_eq!(bounded.misses(sets, bound + 1), None);
+        }
+        prop_assert_eq!(bounded.cold_refs(), exact.cold_refs());
+        prop_assert_eq!(bounded.distinct_lines(), exact.distinct_lines());
+    }
+
+    /// The one-pass FIFO curves equal per-cell FIFO simulation exactly,
+    /// for every tracked (set count, associativity) cell, on arbitrary
+    /// streams.
+    #[test]
+    fn fifo_sweep_matches_per_cell_fifo(stream in line_stream(160, 400)) {
+        let cells = [(1u64, 2u64), (1, 8), (2, 4), (4, 1), (8, 2), (16, 1)];
+        let mut sweep = FifoSweep::new(&cells).unwrap();
+        for &n in &stream {
+            sweep.observe(LineAddr::new(n));
+        }
+        for (sets, assoc) in cells {
+            let geom = CacheGeometry::new(sets * assoc * 16, 16, assoc).unwrap();
+            let mut cache = Cache::with_policy(geom, ReplacementPolicy::Fifo);
+            for &n in &stream {
+                cache.access_line(LineAddr::new(n));
+            }
+            prop_assert_eq!(
+                sweep.misses(sets, assoc),
+                Some(cache.stats().misses),
+                "{} sets x {} ways", sets, assoc
+            );
+        }
     }
 
     /// Set-associative caches with FIFO/Random still respect capacity and
