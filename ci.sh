@@ -41,6 +41,9 @@ echo "    lint status: $(grep -q '"ok":true' /tmp/jouppi_lint_ci.json && echo "a
 echo "==> refresh BENCH_sweep.json (timed sweep schedules)"
 ./target/release/sweep-bench 60000 BENCH_sweep.json
 
+echo "==> result-cache smoke: repeat request hits, bypass does not"
+./target/release/loadgen --cache-smoke
+
 echo "==> refresh BENCH_serve.json (loadgen smoke run)"
 ./target/release/loadgen 120 4 BENCH_serve.json
 

@@ -7,7 +7,10 @@
 //! top-level `"benchmark"` string plus at least one non-empty array of
 //! result rows (`"results"` for sweep-bench, `"latency"` for loadgen).
 //! An empty row array means the bench trajectory silently recorded
-//! nothing, so it fails. Exits nonzero naming every file that fails.
+//! nothing, so it fails. A loadgen report must additionally carry the
+//! Zipf result-cache fields (hit/miss/coalesce counters, hit rate, and
+//! the cache-on vs cache-off speedup). Exits nonzero naming every file
+//! that fails.
 
 #![forbid(unsafe_code)]
 
@@ -33,7 +36,39 @@ fn check(path: &str) -> Result<String, String> {
     if rows == 0 {
         return Err("no result rows — the bench trajectory must never be empty".to_owned());
     }
+    if benchmark == "loadgen" {
+        check_zipf(&doc)?;
+    }
     Ok(format!("benchmark \"{benchmark}\", {rows} result rows"))
+}
+
+/// Validates the result-cache fields a loadgen report must carry.
+fn check_zipf(doc: &Json) -> Result<(), String> {
+    let zipf = doc
+        .get("zipf")
+        .ok_or("loadgen report is missing the \"zipf\" object")?;
+    for field in ["hits", "misses", "coalesced", "requests"] {
+        zipf.get(field)
+            .and_then(Json::as_i64)
+            .ok_or(format!("\"zipf\" is missing integer field \"{field}\""))?;
+    }
+    for field in ["hit_rate", "coalesce_rate", "speedup", "skew"] {
+        zipf.get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("\"zipf\" is missing numeric field \"{field}\""))?;
+    }
+    let requests = zipf.get("requests").and_then(Json::as_i64).unwrap_or(0);
+    let accounted = ["hits", "misses", "coalesced"]
+        .iter()
+        .filter_map(|f| zipf.get(f).and_then(Json::as_i64))
+        .sum::<i64>();
+    if accounted != requests {
+        return Err(format!(
+            "zipf counters do not account for the request stream: \
+             hits+misses+coalesced = {accounted}, requests = {requests}"
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

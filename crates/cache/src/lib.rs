@@ -41,6 +41,7 @@ mod classify;
 mod geometry;
 mod line_hash;
 mod lru;
+mod lru_map;
 mod replacement;
 mod set_assoc;
 mod single_pass;
@@ -51,6 +52,7 @@ pub use classify::{ClassifiedCache, MissClass, MissClassifier};
 pub use geometry::{CacheGeometry, GeometryError};
 pub use line_hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use lru::{LruSet, TouchOutcome, SMALL_CAPACITY_MAX};
+pub use lru_map::{Displaced, LruMap};
 pub use replacement::ReplacementPolicy;
 pub use set_assoc::{AccessResult, Cache};
 pub use single_pass::{FifoSweep, LruSweep, SinglePassError};

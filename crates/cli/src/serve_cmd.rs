@@ -6,6 +6,7 @@
 use std::time::Duration;
 
 use jouppi_serve::http::Limits;
+use jouppi_serve::result_cache::CacheMode;
 use jouppi_serve::server::ServerConfig;
 use jouppi_serve::Server;
 
@@ -21,6 +22,8 @@ usage: jouppi serve [OPTIONS]
   --max-body BYTES       request body size limit (default 1048576)
   --idle-timeout-ms N    keep-alive idle timeout (default 10000)
   --request-timeout-ms N whole-request receive timeout (default 30000)
+  --cache-mode MODE      result cache: on, off, or bypass (default on)
+  --cache-capacity N     max memoized result documents (default 256)
   --max-runtime-secs N   serve for N seconds then drain and exit (0 = forever)
   --help                 show this message
 
@@ -109,6 +112,15 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
                     value("--request-timeout-ms")?,
                 )?);
             }
+            "--cache-mode" => {
+                let raw = value("--cache-mode")?;
+                opts.config.cache.mode = CacheMode::parse(&raw)
+                    .ok_or_else(|| err(format!("--cache-mode wants on|off|bypass, got '{raw}'")))?;
+            }
+            "--cache-capacity" => {
+                opts.config.cache.capacity =
+                    parse_usize("--cache-capacity", value("--cache-capacity")?)?.max(1);
+            }
             "--max-runtime-secs" => {
                 opts.max_runtime_secs =
                     parse_u64("--max-runtime-secs", value("--max-runtime-secs")?)?;
@@ -166,6 +178,8 @@ mod tests {
         assert_eq!(o.config.addr, "127.0.0.1:7090");
         assert_eq!(o.config.workers, 2);
         assert_eq!(o.config.queue_depth, 16);
+        assert_eq!(o.config.cache.mode, CacheMode::On);
+        assert_eq!(o.config.cache.capacity, 256);
         assert_eq!(o.max_runtime_secs, 0);
     }
 
@@ -186,6 +200,10 @@ mod tests {
             "500",
             "--request-timeout-ms",
             "2000",
+            "--cache-mode",
+            "bypass",
+            "--cache-capacity",
+            "64",
             "--max-runtime-secs",
             "3",
         ])
@@ -196,6 +214,8 @@ mod tests {
         assert_eq!(o.config.limits.max_body_bytes, 4096);
         assert_eq!(o.config.idle_timeout, Duration::from_millis(500));
         assert_eq!(o.config.request_timeout, Duration::from_secs(2));
+        assert_eq!(o.config.cache.mode, CacheMode::Bypass);
+        assert_eq!(o.config.cache.capacity, 64);
         assert_eq!(o.max_runtime_secs, 3);
     }
 
@@ -204,15 +224,26 @@ mod tests {
         assert!(parse(&["--port", "huge"]).is_err());
         assert!(parse(&["--workers"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--cache-mode", "sometimes"]).is_err());
+        assert!(parse(&["--cache-capacity", "many"]).is_err());
         let e = parse(&["--help"]).unwrap_err();
         assert!(e.to_string().contains("usage: jouppi serve"));
     }
 
     #[test]
     fn zero_workers_and_depth_are_clamped() {
-        let o = parse(&["--workers", "0", "--queue-depth", "0"]).unwrap();
+        let o = parse(&[
+            "--workers",
+            "0",
+            "--queue-depth",
+            "0",
+            "--cache-capacity",
+            "0",
+        ])
+        .unwrap();
         assert_eq!(o.config.workers, 1);
         assert_eq!(o.config.queue_depth, 1);
+        assert_eq!(o.config.cache.capacity, 1);
     }
 
     #[test]

@@ -114,10 +114,9 @@ pub fn record_traces(cfg: &ExperimentConfig) -> TraceSet {
     let set: TraceSet = Arc::new(sweep::map_jobs(Benchmark::ALL.len(), |i| {
         let b = Benchmark::ALL[i];
         let trace = RecordedTrace::record(&b.source(cfg.scale, cfg.seed));
-        // Touch both side views so the partition cost is paid here, on the
-        // worker, instead of lazily inside the first simulation cell.
-        let _ = trace.instr_side();
-        let _ = trace.data_side();
+        // Build both side views here, on the worker, so the partition
+        // cost is not paid lazily inside the first simulation cell.
+        trace.materialize_sides();
         (b, trace)
     }));
     if cache.len() == TRACE_CACHE_CAPACITY {

@@ -112,6 +112,43 @@ impl Json {
         out
     }
 
+    /// Encodes compactly with every object's keys sorted (ties keep
+    /// insertion order), recursively. Two documents that differ only in
+    /// object key order produce identical canonical text, which is what
+    /// the result cache hashes into content keys.
+    pub fn encode_canonical(&self) -> String {
+        match self {
+            Json::Arr(items) => {
+                let mut out = String::from("[");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&item.encode_canonical());
+                }
+                out.push(']');
+                out
+            }
+            Json::Obj(pairs) => {
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0));
+                let mut out = String::from("{");
+                for (n, &i) in order.iter().enumerate() {
+                    if n > 0 {
+                        out.push(',');
+                    }
+                    let (k, v) = &pairs[i];
+                    write_string(&mut out, k);
+                    out.push(':');
+                    out.push_str(&v.encode_canonical());
+                }
+                out.push('}');
+                out
+            }
+            scalar => scalar.encode(),
+        }
+    }
+
     /// Encodes with newlines and two-space indentation.
     pub fn encode_pretty(&self) -> String {
         let mut out = String::new();
@@ -514,6 +551,21 @@ mod tests {
     fn object_order_is_preserved() {
         let v = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
         assert_eq!(v.encode(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn canonical_encoding_sorts_keys_recursively() {
+        let a = Json::parse(r#"{"z":1,"a":{"y":[{"b":2,"a":1}],"x":0}}"#).unwrap();
+        let b = Json::parse(r#"{"a":{"x":0,"y":[{"a":1,"b":2}]},"z":1}"#).unwrap();
+        assert_eq!(a.encode_canonical(), b.encode_canonical());
+        assert_eq!(
+            a.encode_canonical(),
+            r#"{"a":{"x":0,"y":[{"a":1,"b":2}]},"z":1}"#
+        );
+        // Arrays keep their order: different orders stay distinct.
+        let c = Json::parse(r#"{"a":[1,2]}"#).unwrap();
+        let d = Json::parse(r#"{"a":[2,1]}"#).unwrap();
+        assert_ne!(c.encode_canonical(), d.encode_canonical());
     }
 
     #[test]

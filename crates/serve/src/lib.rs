@@ -18,6 +18,12 @@
 //! without ever panicking a worker, and shutdown drains both in-flight
 //! requests and every accepted sweep job.
 //!
+//! Because every simulation is a pure function of its parameters,
+//! `/v1/simulate` and `/v1/sweep` results are memoized in a bounded
+//! content-addressed [`ResultCache`] with singleflight coalescing —
+//! identical concurrent requests cost one computation, and responses
+//! carry an `x-jouppi-cache: hit|miss|coalesced|bypass` header.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -41,6 +47,7 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod queue;
+pub mod result_cache;
 mod routes;
 pub mod server;
 pub mod sim;
@@ -48,4 +55,5 @@ pub mod sweeps;
 
 pub use client::{Client, ClientResponse};
 pub use json::Json;
+pub use result_cache::{CacheConfig, CacheMode, ResultCache};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownStats};

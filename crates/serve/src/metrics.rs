@@ -86,6 +86,19 @@ pub struct Sampled {
     pub single_pass_refs: u64,
     /// Replay throughput (refs/s) of the last completed named sweep.
     pub refs_per_second: u64,
+    /// Result-cache memo hits (`jouppi_result_cache_hits_total`).
+    pub result_cache_hits: u64,
+    /// Result-cache misses that computed (`jouppi_result_cache_misses_total`).
+    pub result_cache_misses: u64,
+    /// Memoized results displaced by capacity
+    /// (`jouppi_result_cache_evictions_total`).
+    pub result_cache_evictions: u64,
+    /// Requests that rode another request's in-flight computation
+    /// (`jouppi_result_cache_coalesced_total`).
+    pub result_cache_coalesced: u64,
+    /// Encoded bytes of all memoized result documents
+    /// (`jouppi_result_cache_bytes_resident`).
+    pub result_cache_bytes: u64,
 }
 
 /// The registry: per-endpoint request counters and latency histograms.
@@ -158,7 +171,7 @@ impl Registry {
                 histogram.render(endpoint, &mut out);
             }
         }
-        let gauges: [(&str, &str, u64); 8] = [
+        let gauges: [(&str, &str, u64); 13] = [
             (
                 "jouppi_jobs_queue_depth",
                 "Jobs waiting in the bounded queue.",
@@ -199,6 +212,31 @@ impl Registry {
                 "Replay throughput of the last completed sweep.",
                 sampled.refs_per_second,
             ),
+            (
+                "jouppi_result_cache_hits_total",
+                "Requests answered from the content-addressed result cache.",
+                sampled.result_cache_hits,
+            ),
+            (
+                "jouppi_result_cache_misses_total",
+                "Requests that computed because no memoized result existed.",
+                sampled.result_cache_misses,
+            ),
+            (
+                "jouppi_result_cache_evictions_total",
+                "Memoized results displaced by the cache capacity bound.",
+                sampled.result_cache_evictions,
+            ),
+            (
+                "jouppi_result_cache_coalesced_total",
+                "Requests merged onto another request's in-flight computation.",
+                sampled.result_cache_coalesced,
+            ),
+            (
+                "jouppi_result_cache_bytes_resident",
+                "Encoded bytes of all memoized result documents.",
+                sampled.result_cache_bytes,
+            ),
         ];
         for (name, help, value) in gauges {
             let kind = if name.ends_with("_total") {
@@ -234,6 +272,11 @@ mod tests {
             sweep_cells: 12,
             single_pass_refs: 555,
             refs_per_second: 1_234,
+            result_cache_hits: 40,
+            result_cache_misses: 9,
+            result_cache_evictions: 2,
+            result_cache_coalesced: 6,
+            result_cache_bytes: 4_096,
         });
         assert!(text.contains("jouppi_http_requests_total{endpoint=\"healthz\",status=\"200\"} 2"));
         assert!(text.contains("jouppi_http_requests_total{endpoint=\"sweep\",status=\"503\"} 1"));
@@ -248,6 +291,13 @@ mod tests {
         assert!(text.contains("jouppi_single_pass_refs_total 555"));
         assert!(text.contains("# TYPE jouppi_refs_per_second gauge"));
         assert!(text.contains("jouppi_refs_per_second 1234"));
+        assert!(text.contains("# TYPE jouppi_result_cache_hits_total counter"));
+        assert!(text.contains("jouppi_result_cache_hits_total 40"));
+        assert!(text.contains("jouppi_result_cache_misses_total 9"));
+        assert!(text.contains("jouppi_result_cache_evictions_total 2"));
+        assert!(text.contains("jouppi_result_cache_coalesced_total 6"));
+        assert!(text.contains("# TYPE jouppi_result_cache_bytes_resident gauge"));
+        assert!(text.contains("jouppi_result_cache_bytes_resident 4096"));
         assert_eq!(r.requests_for("healthz"), 2);
         assert_eq!(r.requests_for("nope"), 0);
     }

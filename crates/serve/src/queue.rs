@@ -148,6 +148,37 @@ impl JobQueue {
         Ok(id)
     }
 
+    /// Records an already-finished job — a result-cache hit served on
+    /// the async path still needs a pollable ticket, but it must not
+    /// consume a queue slot, wake a worker, or count as an executed
+    /// job. The record is immediately `Done` and ages out of the
+    /// completed-job window like any other finished job.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the queue is shutting down (no new tickets
+    /// while draining).
+    pub fn insert_completed(
+        &self,
+        name: impl Into<String>,
+        result: Json,
+    ) -> Result<u64, QueueFull> {
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return Err(QueueFull);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.insert(id, (name.into(), JobState::Done(result)));
+        inner.finished_order.push_back(id);
+        while inner.finished_order.len() > RETAINED_COMPLETED {
+            if let Some(old) = inner.finished_order.pop_front() {
+                inner.jobs.remove(&old);
+            }
+        }
+        Ok(id)
+    }
+
     /// The job's name and current state, or `None` for an unknown id.
     pub fn status(&self, id: u64) -> Option<(String, JobState)> {
         self.lock().jobs.get(&id).cloned()
@@ -263,6 +294,22 @@ mod tests {
             w.join().unwrap();
         }
         assert_eq!(q.stats().completed, 1);
+    }
+
+    #[test]
+    fn insert_completed_mints_done_tickets_without_queueing() {
+        let q = JobQueue::new(2);
+        let id = q
+            .insert_completed("cached", Json::Int(7))
+            .expect("ticket while accepting");
+        let (name, state) = q.status(id).expect("ticket is pollable");
+        assert_eq!(name, "cached");
+        assert_eq!(state, JobState::Done(Json::Int(7)));
+        // No slot consumed, no execution counted.
+        assert_eq!(q.stats().depth, 0);
+        assert_eq!(q.stats().completed, 0);
+        q.shutdown();
+        assert_eq!(q.insert_completed("late", Json::Null), Err(QueueFull));
     }
 
     #[test]

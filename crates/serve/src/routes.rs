@@ -5,16 +5,38 @@
 //! become 4xx documents. The returned endpoint label feeds the metrics
 //! registry.
 
+use std::sync::Arc;
+
 use jouppi_experiments::common::refs_simulated;
 use jouppi_experiments::sweep::{cells_executed, single_pass_refs};
 
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::metrics::Sampled;
-use crate::queue::{JobState, QueueFull};
+use crate::queue::{Job, JobState, QueueFull};
+use crate::result_cache::{content_key, Lookup, TryLookup};
 use crate::server::Ctx;
 use crate::sim;
 use crate::sweeps::{self, DEFAULT_SWEEP_SCALE, NAMED_SWEEPS};
+
+/// Response header reporting what the result cache did for a request.
+const CACHE_HEADER: &str = "x-jouppi-cache";
+
+/// Whether the request carries the per-request bypass knob
+/// (`?cache=bypass` in the query string).
+fn wants_bypass(req: &Request) -> bool {
+    req.query()
+        .is_some_and(|q| q.split('&').any(|kv| kv == "cache=bypass"))
+}
+
+/// Tags `resp` with the cache-observability header, when there is one
+/// (cache mode `off` serves unheadered responses).
+fn with_cache_note(resp: Response, note: Option<&'static str>) -> Response {
+    match note {
+        Some(note) => resp.header(CACHE_HEADER, note),
+        None => resp,
+    }
+}
 
 /// Routes one request, returning the metrics endpoint label and the
 /// response to send.
@@ -57,6 +79,7 @@ fn healthz(ctx: &Ctx) -> Response {
 
 fn metrics(ctx: &Ctx) -> Response {
     let queue = ctx.queue.stats();
+    let cache = ctx.result_cache.counters();
     let sampled = Sampled {
         queue_depth: queue.depth,
         jobs_inflight: queue.running,
@@ -66,6 +89,11 @@ fn metrics(ctx: &Ctx) -> Response {
         sweep_cells: cells_executed(),
         single_pass_refs: single_pass_refs(),
         refs_per_second: sweeps::last_sweep_refs_per_second(),
+        result_cache_hits: cache.hits,
+        result_cache_misses: cache.misses,
+        result_cache_evictions: cache.evictions,
+        result_cache_coalesced: cache.coalesced,
+        result_cache_bytes: cache.bytes_resident,
     };
     let mut resp = Response::text(200, ctx.metrics.render(&sampled));
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -78,14 +106,40 @@ fn parse_body(req: &Request) -> Result<Json, Response> {
     Json::parse(text).map_err(|e| Response::error(400, format!("invalid JSON: {e}")))
 }
 
-fn simulate(_ctx: &Ctx, req: &Request) -> Response {
+fn simulate(ctx: &Ctx, req: &Request) -> Response {
     let body = match parse_body(req) {
         Ok(body) => body,
         Err(resp) => return resp,
     };
-    match sim::simulate(&body) {
-        Ok(result) => Response::json(200, &result),
-        Err(msg) => Response::error(400, msg),
+    // Simulations are bounded (`MAX_SIMULATE_SCALE`) and sub-second, so
+    // the synchronous path can afford the *blocking* singleflight: a
+    // thundering herd of identical POSTs parks here and costs exactly
+    // one simulation.
+    let key = content_key("simulate", &body);
+    match ctx.result_cache.begin(key, wants_bypass(req)) {
+        Lookup::Disabled => match sim::simulate(&body) {
+            Ok(result) => Response::json(200, &result),
+            Err(msg) => Response::error(400, msg),
+        },
+        Lookup::Bypass => match sim::simulate(&body) {
+            Ok(result) => Response::json(200, &result).header(CACHE_HEADER, "bypass"),
+            Err(msg) => Response::error(400, msg),
+        },
+        Lookup::Hit(doc) => Response::json(200, &doc).header(CACHE_HEADER, "hit"),
+        Lookup::Coalesced(doc) => Response::json(200, &doc).header(CACHE_HEADER, "coalesced"),
+        Lookup::Miss(leader) => match sim::simulate(&body) {
+            Ok(result) => {
+                let doc = Arc::new(result);
+                leader.complete(&doc);
+                Response::json(200, &doc).header(CACHE_HEADER, "miss")
+            }
+            Err(msg) => {
+                // Errors are never cached: waiters re-elect and fail on
+                // their own (each gets its own 400).
+                leader.abandon();
+                Response::error(400, msg)
+            }
+        },
     }
 }
 
@@ -143,34 +197,119 @@ fn sweep(ctx: &Ctx, req: &Request) -> Response {
     };
     let wait = body.get("wait").and_then(Json::as_bool).unwrap_or(false);
 
+    // Sweeps are keyed on the *semantic* tuple, not the raw body, so
+    // requests that differ only in defaulted fields or the `wait` knob
+    // share one cache entry.
+    let key = content_key(
+        "sweep",
+        &Json::obj([
+            ("sweep", Json::str(name)),
+            ("engine", Json::str(engine)),
+            ("scale", Json::Int(scale as i64)),
+            ("seed", Json::Int(seed as i64)),
+        ]),
+    );
+    // The queued path must never park a connection thread behind an
+    // in-flight leader, so it uses the non-blocking lookup: duplicates
+    // coalesce onto the leader's job id instead of waiting on a slot.
+    let (leader, cache_note) = match ctx.result_cache.try_begin(key, wants_bypass(req)) {
+        TryLookup::Disabled => (None, None),
+        TryLookup::Bypass => (None, Some("bypass")),
+        TryLookup::Hit(doc) => {
+            if wait {
+                return Response::json(200, &doc).header(CACHE_HEADER, "hit");
+            }
+            // A hit on the async path still mints a pollable ticket,
+            // but consumes no queue slot and wakes no worker.
+            return match ctx.queue.insert_completed(name, (*doc).clone()) {
+                Ok(id) => ticket(id, name, "done").header(CACHE_HEADER, "hit"),
+                Err(QueueFull) => Response::error(503, "job queue is full; retry later")
+                    .header("Retry-After", "1"),
+            };
+        }
+        TryLookup::InFlight(Some(id)) => {
+            if wait {
+                return match ctx.queue.wait(id, ctx.cfg.job_wait_timeout) {
+                    Some((_, JobState::Done(result))) => {
+                        Response::json(200, &result).header(CACHE_HEADER, "coalesced")
+                    }
+                    Some((_, JobState::Failed(msg))) => Response::error(500, msg),
+                    _ => ticket(id, name, "running").header(CACHE_HEADER, "coalesced"),
+                };
+            }
+            let status = ctx
+                .queue
+                .status(id)
+                .map_or("queued", |(_, state)| state.label());
+            return ticket(id, name, status).header(CACHE_HEADER, "coalesced");
+        }
+        // A leader exists but has not published its job id yet (the
+        // window between election and submit). Rather than wait, run
+        // our own uncached copy — correct, merely not deduplicated.
+        TryLookup::InFlight(None) => (None, Some("miss")),
+        TryLookup::Miss(leader) => (Some(leader), Some("miss")),
+    };
+
     let job_name = name.to_owned();
-    let job = {
+    let led = leader.is_some();
+    let job: Job = {
         let job_name = job_name.clone();
-        Box::new(move || {
-            sweeps::run_named_engine(&job_name, &cfg, engine)
-                .ok_or_else(|| "sweep vanished".to_owned())
-        })
+        match leader {
+            // The leader guard rides inside the job closure: success
+            // memoizes the document, failure (or a worker panic, via
+            // the guard's Drop) abandons so waiters re-elect.
+            Some(leader) => {
+                Box::new(
+                    move || match sweeps::run_named_engine(&job_name, &cfg, engine) {
+                        Some(result) => {
+                            leader.complete(&Arc::new(result.clone()));
+                            Ok(result)
+                        }
+                        None => {
+                            leader.abandon();
+                            Err("sweep vanished".to_owned())
+                        }
+                    },
+                )
+            }
+            None => Box::new(move || {
+                sweeps::run_named_engine(&job_name, &cfg, engine)
+                    .ok_or_else(|| "sweep vanished".to_owned())
+            }),
+        }
     };
     let id = match ctx.queue.submit(job_name.clone(), job) {
         Ok(id) => id,
+        // Dropping the rejected job drops the leader guard inside it,
+        // which abandons the flight — no key is left stranded.
         Err(QueueFull) => {
             return Response::error(503, "job queue is full; retry later")
                 .header("Retry-After", "1");
         }
     };
+    if led {
+        ctx.result_cache.publish_ticket(key, id);
+    }
     if wait {
         match ctx.queue.wait(id, ctx.cfg.job_wait_timeout) {
-            Some((_, JobState::Done(result))) => return Response::json(200, &result),
+            Some((_, JobState::Done(result))) => {
+                return with_cache_note(Response::json(200, &result), cache_note);
+            }
             Some((_, JobState::Failed(msg))) => return Response::error(500, msg),
             _ => {} // still running: fall through to the 202 ticket
         }
     }
+    with_cache_note(ticket(id, &job_name, "queued"), cache_note)
+}
+
+/// The 202 ticket document for an accepted (or cached) sweep job.
+fn ticket(id: u64, sweep: &str, status: &str) -> Response {
     Response::json(
         202,
         &Json::obj([
             ("job", Json::Int(id as i64)),
-            ("sweep", Json::str(job_name)),
-            ("status", Json::str("queued")),
+            ("sweep", Json::str(sweep)),
+            ("status", Json::str(status)),
             ("poll", Json::str(format!("/v1/jobs/{id}"))),
         ]),
     )

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use crate::http::{HttpConn, HttpError, Limits, Response};
 use crate::metrics::Registry;
 use crate::queue::JobQueue;
+use crate::result_cache::{CacheConfig, ResultCache};
 use crate::routes::route;
 
 /// Socket-level read timeout: the granularity at which idle connection
@@ -48,6 +49,8 @@ pub struct ServerConfig {
     /// How long a `"wait": true` sweep request blocks before falling
     /// back to a 202 ticket.
     pub job_wait_timeout: Duration,
+    /// Content-addressed result cache (mode + capacity).
+    pub cache: CacheConfig,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +65,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(10),
             request_timeout: Duration::from_secs(30),
             job_wait_timeout: Duration::from_secs(120),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -74,6 +78,9 @@ pub struct Ctx {
     pub queue: Arc<JobQueue>,
     /// Request metrics.
     pub metrics: Registry,
+    /// Content-addressed result cache (an `Arc` so leader guards can
+    /// ride into queued job closures).
+    pub result_cache: Arc<ResultCache>,
     shutdown: AtomicBool,
     connections: AtomicUsize,
 }
@@ -111,10 +118,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let queue = JobQueue::new(cfg.queue_depth);
         let workers = queue.spawn_workers(cfg.workers)?;
+        let result_cache = ResultCache::new(cfg.cache);
         let ctx = Arc::new(Ctx {
             cfg,
             queue,
             metrics: Registry::new(),
+            result_cache,
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
         });
@@ -303,6 +312,7 @@ mod tests {
             cfg: ServerConfig::default(),
             queue: JobQueue::new(1),
             metrics: Registry::new(),
+            result_cache: ResultCache::new(CacheConfig::default()),
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
         });

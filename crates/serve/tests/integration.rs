@@ -49,7 +49,8 @@ fn sweep_matches_in_process_run_bit_for_bit() {
     let mut expected = sweeps::run_named("fig_3_1", &cfg).unwrap().encode();
     expected.push('\n');
 
-    // Synchronous path: "wait": true returns the result document.
+    // Synchronous path: "wait": true returns the result document. The
+    // first request for this tuple computes (and memoizes) it.
     let resp = c
         .request(
             "POST",
@@ -58,13 +59,15 @@ fn sweep_matches_in_process_run_bit_for_bit() {
         )
         .unwrap();
     assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.header("x-jouppi-cache"), Some("miss"));
     assert_eq!(
         resp.text(),
         expected,
         "served sweep differs from in-process"
     );
 
-    // Async path: 202 ticket, then poll /v1/jobs/<id> to the same result.
+    // Async path: the same tuple is now memoized, so the 202 ticket is
+    // already done — no second sweep executes. Polling still works.
     let resp = c
         .request(
             "POST",
@@ -73,8 +76,9 @@ fn sweep_matches_in_process_run_bit_for_bit() {
         )
         .unwrap();
     assert_eq!(resp.status, 202, "{}", resp.text());
+    assert_eq!(resp.header("x-jouppi-cache"), Some("hit"));
     let ticket = resp.json().unwrap();
-    assert_eq!(ticket.get("status").unwrap(), &Json::str("queued"));
+    assert_eq!(ticket.get("status").unwrap(), &Json::str("done"));
     let id = ticket.get("job").unwrap().as_i64().unwrap();
     let poll = ticket.get("poll").unwrap().as_str().unwrap().to_owned();
     assert_eq!(poll, format!("/v1/jobs/{id}"));
@@ -109,7 +113,14 @@ fn sweep_matches_in_process_run_bit_for_bit() {
         text.contains("jouppi_http_requests_total{endpoint=\"sweep\",status=\"202\"} 1"),
         "{text}"
     );
-    assert!(text.contains("jouppi_jobs_completed_total 2"), "{text}");
+    // Only the first request executed a sweep; the async duplicate was
+    // served from the result cache without touching a worker.
+    assert!(text.contains("jouppi_jobs_completed_total 1"), "{text}");
+    assert!(
+        text.contains("jouppi_result_cache_misses_total 1"),
+        "{text}"
+    );
+    assert!(text.contains("jouppi_result_cache_hits_total 1"), "{text}");
     let refs_line = text
         .lines()
         .find(|l| l.starts_with("jouppi_refs_simulated_total"))
@@ -205,8 +216,15 @@ fn queue_overflow_returns_503_with_retry_after() {
     let body = json(r#"{"sweep":"fig_3_1","scale":100000}"#);
     let mut accepted = 0;
     let mut rejected = 0;
+    // The bypass knob keeps these identical sweeps from coalescing, so
+    // each one really tries to take a queue slot.
     for _ in 0..8 {
-        let resp = c.request("POST", "/v1/sweep", Some(&body)).unwrap();
+        let resp = c
+            .request("POST", "/v1/sweep?cache=bypass", Some(&body))
+            .unwrap();
+        if resp.status != 503 {
+            assert_eq!(resp.header("x-jouppi-cache"), Some("bypass"));
+        }
         match resp.status {
             202 => accepted += 1,
             503 => {
@@ -309,16 +327,99 @@ fn shutdown_drains_accepted_jobs() {
         ..ServerConfig::default()
     });
     let mut c = client(&handle);
-    for _ in 0..3 {
+    // Distinct seeds: three different content keys, so all three really
+    // enter the queue instead of coalescing onto one job.
+    for seed in 1..=3 {
         let resp = c
             .request(
                 "POST",
                 "/v1/sweep",
-                Some(&json(r#"{"sweep":"fig_3_1","scale":50000}"#)),
+                Some(&json(&format!(
+                    r#"{{"sweep":"fig_3_1","scale":50000,"seed":{seed}}}"#
+                ))),
             )
             .unwrap();
         assert_eq!(resp.status, 202);
     }
     let stats = handle.shutdown();
     assert_eq!(stats.jobs_completed, 3, "shutdown must drain accepted jobs");
+}
+
+#[test]
+fn thundering_herd_costs_exactly_one_simulation() {
+    const HERD: usize = 8;
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+    let body = r#"{"workload":"met","scale":200000,"victim":4}"#;
+
+    // N identical concurrent POSTs released by a barrier: the leader
+    // simulates once, everyone else hits or coalesces.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(HERD));
+    let stampede: Vec<_> = (0..HERD)
+        .map(|_| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                barrier.wait();
+                let resp = c
+                    .request("POST", "/v1/simulate", Some(&json(body)))
+                    .unwrap();
+                assert_eq!(resp.status, 200, "{}", resp.text());
+                let note = resp
+                    .header("x-jouppi-cache")
+                    .expect("cache header present")
+                    .to_owned();
+                (note, resp.text())
+            })
+        })
+        .collect();
+    let responses: Vec<(String, String)> = stampede
+        .into_iter()
+        .map(|t| t.join().expect("herd thread"))
+        .collect();
+
+    // All responses are bit-identical...
+    let reference = responses[0].1.clone();
+    for (_, text) in &responses {
+        assert_eq!(*text, reference, "cached response differs");
+    }
+    // ...exactly one was computed, and the rest rode it.
+    let misses = responses.iter().filter(|(n, _)| n == "miss").count();
+    let served = responses
+        .iter()
+        .filter(|(n, _)| n == "hit" || n == "coalesced")
+        .count();
+    assert_eq!(
+        misses, 1,
+        "herd must elect exactly one leader: {responses:?}"
+    );
+    assert_eq!(served, HERD - 1, "everyone else must hit or coalesce");
+
+    // A bypassing request recomputes from scratch and must produce the
+    // same bytes — cached responses are byte-identical to uncached ones.
+    let mut c = client(&handle);
+    let resp = c
+        .request("POST", "/v1/simulate?cache=bypass", Some(&json(body)))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-jouppi-cache"), Some("bypass"));
+    assert_eq!(resp.text(), reference, "bypass and cached bytes differ");
+
+    // /metrics agrees: one miss, N-1 hits+coalesced, bytes resident.
+    let text = c.request("GET", "/metrics", None).unwrap().text();
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+    };
+    assert_eq!(counter("jouppi_result_cache_misses_total"), 1);
+    assert_eq!(
+        counter("jouppi_result_cache_hits_total") + counter("jouppi_result_cache_coalesced_total"),
+        (HERD - 1) as u64
+    );
+    assert!(counter("jouppi_result_cache_bytes_resident") > 0);
+
+    handle.shutdown();
 }

@@ -196,6 +196,13 @@ impl RecordedTrace {
     pub fn data_side(&self) -> &SideView {
         &self.sides().data
     }
+
+    /// Eagerly builds both side views. Call this where the partition
+    /// cost should be paid (e.g. on a recording worker) instead of
+    /// lazily inside the first simulation that touches a side.
+    pub fn materialize_sides(&self) {
+        self.sides();
+    }
 }
 
 impl Clone for RecordedTrace {
