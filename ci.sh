@@ -14,8 +14,10 @@ echo "==> jouppi-lint: determinism/robustness invariants (ratcheted)"
 cargo build --release -p jouppi-lint
 # The baseline ratchet fails on any finding beyond lint-baseline.json's
 # grandfathered counts AND on stale entries the tree has outgrown;
-# --timings keeps the gate's per-analysis cost visible.
-./target/release/jouppi-lint --root . --workspace --baseline lint-baseline.json --timings
+# --timings keeps the gate's per-analysis cost (including the workspace
+# call-graph build) visible, and --budget-ms fails the gate outright if
+# the whole analysis blows its wall-time budget.
+./target/release/jouppi-lint --root . --workspace --baseline lint-baseline.json --timings --budget-ms 15000
 ./target/release/jouppi-lint --root . --workspace --json --baseline lint-baseline.json > /tmp/jouppi_lint_ci.json
 
 echo "==> tier-1: cargo build --release"
@@ -47,7 +49,7 @@ echo "==> result-cache smoke: repeat request hits, bypass does not"
 echo "==> refresh BENCH_serve.json (loadgen smoke run)"
 ./target/release/loadgen 120 4 BENCH_serve.json
 
-echo "==> validate benchmark reports against the shared JSON model"
-./target/release/json-check BENCH_sweep.json BENCH_serve.json
+echo "==> validate benchmark reports and the lint report against the shared JSON model"
+./target/release/json-check BENCH_sweep.json BENCH_serve.json --lint /tmp/jouppi_lint_ci.json
 
 echo "CI OK"

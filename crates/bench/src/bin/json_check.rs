@@ -1,6 +1,6 @@
 //! Validates benchmark report files against the shared JSON model.
 //!
-//! Usage: `json-check FILE...`
+//! Usage: `json-check FILE... [--lint FILE...]`
 //!
 //! Each FILE must parse with `jouppi_serve::json` — the same model the
 //! daemon serves and the report tooling consumes — and carry a
@@ -9,8 +9,13 @@
 //! An empty row array means the bench trajectory silently recorded
 //! nothing, so it fails. A loadgen report must additionally carry the
 //! Zipf result-cache fields (hit/miss/coalesce counters, hit rate, and
-//! the cache-on vs cache-off speedup). Exits nonzero naming every file
-//! that fails.
+//! the cache-on vs cache-off speedup).
+//!
+//! Files after `--lint` are instead validated as `jouppi-lint --json`
+//! version-3 reports: tool/version identification, a findings array
+//! consistent with the `clean` flag, and the `callgraph` section with
+//! all four size counters (a workspace scan always builds a non-empty
+//! graph). Exits nonzero naming every file that fails.
 
 #![forbid(unsafe_code)]
 
@@ -71,15 +76,90 @@ fn check_zipf(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `jouppi-lint --json` version-3 report.
+fn check_lint(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    match doc.get("tool").and_then(Json::as_str) {
+        Some("jouppi-lint") => {}
+        other => return Err(format!("\"tool\" is {other:?}, expected \"jouppi-lint\"")),
+    }
+    match doc.get("version").and_then(Json::as_i64) {
+        Some(3) => {}
+        other => return Err(format!("\"version\" is {other:?}, expected 3")),
+    }
+    let scanned = doc
+        .get("files_scanned")
+        .and_then(Json::as_i64)
+        .ok_or("missing integer \"files_scanned\"")?;
+    if scanned == 0 {
+        return Err("\"files_scanned\" is 0 — the scan saw nothing".to_owned());
+    }
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"findings\" array")?;
+    let clean = doc
+        .get("clean")
+        .and_then(|c| match c {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        })
+        .ok_or("missing boolean \"clean\"")?;
+    if clean != findings.is_empty() {
+        return Err(format!(
+            "\"clean\" is {clean} but the report carries {} findings",
+            findings.len()
+        ));
+    }
+    let graph = doc
+        .get("callgraph")
+        .ok_or("missing \"callgraph\" object — required in version 3")?;
+    let mut nodes = 0i64;
+    for field in [
+        "nodes",
+        "resolved_edges",
+        "ambiguous_edges",
+        "external_calls",
+    ] {
+        let n = graph.get(field).and_then(Json::as_i64).ok_or(format!(
+            "\"callgraph\" is missing integer field \"{field}\""
+        ))?;
+        if field == "nodes" {
+            nodes = n;
+        }
+    }
+    if nodes == 0 {
+        return Err(
+            "\"callgraph\".\"nodes\" is 0 — a workspace scan always sees functions".to_owned(),
+        );
+    }
+    Ok(format!(
+        "lint report v3, {scanned} files scanned, {} findings, {nodes} graph nodes",
+        findings.len()
+    ))
+}
+
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: json-check FILE...");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: json-check FILE... [--lint FILE...]");
         return ExitCode::FAILURE;
     }
     let mut failures = 0usize;
-    for path in &paths {
-        match check(path) {
+    let mut lint_mode = false;
+    for arg in &args {
+        if arg == "--lint" {
+            lint_mode = true;
+            continue;
+        }
+        let path = arg;
+        let verdict = if lint_mode {
+            check_lint(path)
+        } else {
+            check(path)
+        };
+        match verdict {
             Ok(summary) => eprintln!("ok   {path}: {summary}"),
             Err(why) => {
                 eprintln!("FAIL {path}: {why}");

@@ -78,6 +78,7 @@ pub fn thread_count() -> usize {
     if forced > 0 {
         return forced;
     }
+    // jouppi-lint: allow(transitive-purity) — worker count shapes scheduling only; sweep results merge in job-index order, identical at any thread count
     if let Ok(raw) = std::env::var("JOUPPI_THREADS") {
         if let Ok(n) = raw.trim().parse::<usize>() {
             if n >= 1 {

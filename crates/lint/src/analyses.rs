@@ -39,6 +39,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::callgraph::Callee;
 use crate::lint::{Finding, LintId};
 use crate::parser::{Ast, Block, Chain, Expr, FnItem, Item, LetStmt, Root, Step, Stmt};
 use crate::policy::FileContext;
@@ -50,8 +51,49 @@ pub struct AnalysisOutput {
     pub findings: Vec<Finding>,
     /// Nested-acquisition facts for the lock-order pass.
     pub lock_edges: Vec<LockEdge>,
+    /// Calls made while a guard was live, for the workspace
+    /// lock-held-across-call pass.
+    pub guarded_calls: Vec<GuardedCall>,
     /// Wall-clock cost per analysis, for the `--timings` report.
     pub timings: Vec<(&'static str, Duration)>,
+}
+
+/// One call made while at least one lock guard was live. The workspace
+/// scan resolves the callee against the call graph and flags it when the
+/// callee (transitively) blocks.
+#[derive(Clone, Debug)]
+pub struct GuardedCall {
+    /// Name of the enclosing function.
+    pub in_fn: String,
+    /// Line of the enclosing `fn` keyword (node lookup key).
+    pub fn_line: u32,
+    /// The callee, as the call graph models call sites.
+    pub callee: Callee,
+    /// Argument count at the site (`self` not counted).
+    pub arity: usize,
+    /// Line of the call.
+    pub line: u32,
+    /// The held guards' identities, joined for the message.
+    pub held: String,
+}
+
+/// Whether a method `name` called with `arity` arguments is in the
+/// blocking catalog (shared with the interprocedural pass).
+pub fn is_blocking_method(name: &str, arity: usize) -> bool {
+    BLOCKING_METHODS
+        .iter()
+        .any(|&(b, n)| b == name && (n == usize::MAX || arity == n))
+}
+
+/// Whether a call path ends in a blocking free/associated function.
+pub fn is_blocking_path(path: &[String]) -> bool {
+    BLOCKING_PATHS.iter().any(|pat| {
+        path.len() >= pat.len()
+            && path[path.len() - pat.len()..]
+                .iter()
+                .zip(pat.iter())
+                .all(|(a, b)| a == b)
+    })
 }
 
 /// One nested lock acquisition: `held` was live when `acquired` was
@@ -71,24 +113,30 @@ pub fn run(ctx: &FileContext, active: &[LintId], ast: &Ast) -> AnalysisOutput {
     let mut out = AnalysisOutput::default();
     let want_edges = active.contains(&LintId::LockOrder);
     let want_blocking = active.contains(&LintId::BlockingUnderLock);
-    if want_edges || want_blocking {
+    let want_calls = active.contains(&LintId::LockHeldAcrossCall);
+    if want_edges || want_blocking || want_calls {
         let t0 = Instant::now();
         let mut scan = GuardScan {
             edges: Vec::new(),
             findings: Vec::new(),
+            guarded_calls: Vec::new(),
             live: Vec::new(),
             next_serial: 0,
             emit_blocking: want_blocking,
+            capture_calls: want_calls,
+            current_fn: (String::new(), 0),
         };
         for f in ast.functions() {
             if let Some(body) = &f.body {
                 scan.live.clear();
+                scan.current_fn = (f.name.clone(), f.line);
                 scan.walk_block(body);
             }
         }
         if want_edges {
             out.lock_edges = scan.edges;
         }
+        out.guarded_calls = scan.guarded_calls;
         out.findings.extend(scan.findings);
         out.timings.push(("guard-scan", t0.elapsed()));
     }
@@ -184,9 +232,13 @@ struct Guard {
 struct GuardScan {
     edges: Vec<LockEdge>,
     findings: Vec<Finding>,
+    guarded_calls: Vec<GuardedCall>,
     live: Vec<Guard>,
     next_serial: u64,
     emit_blocking: bool,
+    capture_calls: bool,
+    /// Name and line of the function whose body is being walked.
+    current_fn: (String, u32),
 }
 
 /// Chain-tail methods through which an acquisition's result is still the
@@ -242,11 +294,17 @@ impl GuardScan {
                     // A nested fn's body runs when called, not here:
                     // walk it with no inherited guards.
                     if let Item::Fn(FnItem {
-                        body: Some(body), ..
+                        name,
+                        line,
+                        body: Some(body),
+                        ..
                     }) = item
                     {
                         let saved = std::mem::take(&mut self.live);
+                        let saved_fn =
+                            std::mem::replace(&mut self.current_fn, (name.clone(), *line));
                         self.walk_block(body);
+                        self.current_fn = saved_fn;
                         self.live = saved;
                     }
                 }
@@ -416,13 +474,21 @@ impl GuardScan {
                     } else if guard_serial.is_some() && GUARD_TAIL.contains(&name.as_str()) {
                         // The chain's value is still the guard.
                     } else {
-                        if let Some(&(_, n)) =
-                            BLOCKING_METHODS.iter().find(|&&(b, _)| b == name.as_str())
-                        {
-                            if n == usize::MAX || args.len() == n {
-                                self.note_blocking(&format!(".{name}()"), *line);
-                            }
+                        if is_blocking_method(name, args.len()) {
+                            self.note_blocking(&format!(".{name}()"), *line);
                         }
+                        self.capture_call(
+                            Callee::Method {
+                                receiver: if step_index == 0 {
+                                    chain.root_path().and_then(|p| p.last().cloned())
+                                } else {
+                                    None
+                                },
+                                name: name.clone(),
+                            },
+                            args.len(),
+                            *line,
+                        );
                         guard_serial = None;
                     }
                     receiver = format!("{receiver}.{name}()");
@@ -432,6 +498,7 @@ impl GuardScan {
                     if step_index == 0 {
                         if let Root::Path(path) = &chain.root {
                             self.check_blocking_path(path, *line);
+                            self.capture_call(Callee::Path(path.clone()), args.len(), *line);
                             callee = path.last().cloned().unwrap_or_default();
                         }
                     }
@@ -480,12 +547,31 @@ impl GuardScan {
     }
 
     fn check_blocking_path(&mut self, path: &[String], line: u32) {
-        let hit = BLOCKING_PATHS
-            .iter()
-            .any(|pat| path.len() >= pat.len() && path[path.len() - pat.len()..] == **pat);
-        if hit {
+        if is_blocking_path(path) {
             self.note_blocking(&path.join("::"), line);
         }
+    }
+
+    /// Records a call made under a live guard, for the workspace
+    /// lock-held-across-call pass.
+    fn capture_call(&mut self, callee: Callee, arity: usize, line: u32) {
+        if !self.capture_calls || self.live.is_empty() {
+            return;
+        }
+        let held = self
+            .live
+            .iter()
+            .map(|g| g.lock_id.as_str())
+            .collect::<Vec<_>>()
+            .join("`, `");
+        self.guarded_calls.push(GuardedCall {
+            in_fn: self.current_fn.0.clone(),
+            fn_line: self.current_fn.1,
+            callee,
+            arity,
+            line,
+            held,
+        });
     }
 
     fn note_blocking(&mut self, what: &str, line: u32) {

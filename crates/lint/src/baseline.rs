@@ -16,11 +16,19 @@
 //! Counts are compared per `(file, lint)` rather than per line so that
 //! unrelated edits moving a grandfathered finding a few lines do not
 //! churn the baseline.
+//!
+//! The document format is **version 2**: every entry's lint name must
+//! exist in the catalog, so a stale baseline cannot silently keep
+//! grandfathering a lint that was renamed or retired. Version-1
+//! documents (no such guarantee) are still read — entries naming an
+//! unknown lint are *dropped* on migration rather than rejected, since
+//! v1 had no rule against them; writing always produces version 2.
 
 use std::collections::BTreeMap;
 
 use jouppi_serve::json::Json;
 
+use crate::lint::LintId;
 use crate::workspace::ScanResult;
 
 /// Grandfathered finding counts, keyed `(file, lint name)`.
@@ -42,16 +50,24 @@ impl Baseline {
         Baseline { entries }
     }
 
-    /// Parses a baseline document.
+    /// Parses a baseline document (version 1 or 2; see the module docs
+    /// for the migration rules).
     ///
     /// # Errors
     ///
-    /// A human-readable message when the text is not valid JSON or not a
-    /// baseline document.
+    /// A human-readable message when the text is not valid JSON, not a
+    /// baseline document, from an unknown version, or (version 2) names
+    /// a lint not in the catalog.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let doc = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
         if doc.get("tool").and_then(Json::as_str) != Some("jouppi-lint-baseline") {
             return Err("baseline must carry \"tool\": \"jouppi-lint-baseline\"".to_owned());
+        }
+        let version = doc.get("version").and_then(Json::as_i64).unwrap_or(1);
+        if !(1..=2).contains(&version) {
+            return Err(format!(
+                "baseline version {version} is newer than this jouppi-lint understands (2)"
+            ));
         }
         let list = doc
             .get("grandfathered")
@@ -72,6 +88,17 @@ impl Baseline {
                 .and_then(Json::as_i64)
                 .filter(|&n| n > 0)
                 .ok_or("baseline entry needs a positive \"count\"")?;
+            if LintId::from_name(lint).is_none() {
+                if version == 1 {
+                    // v1 migration: the entry grandfathers a lint that no
+                    // longer exists, so it can never match — drop it.
+                    continue;
+                }
+                return Err(format!(
+                    "baseline entry for {file} names unknown lint `{lint}` — \
+                     regenerate with --write-baseline"
+                ));
+            }
             if entries
                 .insert((file.to_owned(), lint.to_owned()), count as u64)
                 .is_some()
@@ -98,7 +125,7 @@ impl Baseline {
             .collect();
         Json::obj([
             ("tool", Json::str("jouppi-lint-baseline")),
-            ("version", Json::Int(1)),
+            ("version", Json::Int(2)),
             ("grandfathered", Json::Arr(list)),
         ])
         .encode()
@@ -166,6 +193,7 @@ mod tests {
         ScanResult {
             files,
             timings: Vec::new(),
+            callgraph: None,
         }
     }
 
@@ -238,5 +266,37 @@ mod tests {
         let ok = Baseline::parse(r#"{"tool":"jouppi-lint-baseline","grandfathered":[]}"#)
             .expect("empty baseline is fine");
         assert!(ok.entries.is_empty());
+    }
+
+    #[test]
+    fn v1_baselines_migrate_and_v2_rejects_unknown_lints() {
+        // Writing always produces version 2.
+        let encoded = Baseline::from_scan(&scan_with(&[("a.rs", LintId::LockOrder, 1)])).encode();
+        let doc = Json::parse(&encoded).expect("valid");
+        assert_eq!(doc.get("version"), Some(&Json::Int(2)));
+
+        // A v1 document (explicit version or none at all) still reads;
+        // entries naming a retired lint are dropped on migration.
+        let v1 = r#"{"tool":"jouppi-lint-baseline","version":1,"grandfathered":
+            [{"file":"a.rs","lint":"lock-order","count":1},
+             {"file":"a.rs","lint":"retired-lint","count":3}]}"#;
+        let migrated = Baseline::parse(v1).expect("v1 migrates");
+        assert_eq!(migrated.entries.len(), 1);
+        assert_eq!(
+            migrated.entries[&("a.rs".to_owned(), "lock-order".to_owned())],
+            1
+        );
+
+        // The same stale entry in a v2 document is an error, not a drop.
+        let v2 = r#"{"tool":"jouppi-lint-baseline","version":2,"grandfathered":
+            [{"file":"a.rs","lint":"retired-lint","count":3}]}"#;
+        let err = Baseline::parse(v2).expect_err("v2 rejects unknown lints");
+        assert!(err.contains("retired-lint"), "{err}");
+
+        // Versions from the future are refused outright.
+        assert!(Baseline::parse(
+            r#"{"tool":"jouppi-lint-baseline","version":3,"grandfathered":[]}"#
+        )
+        .is_err());
     }
 }

@@ -32,34 +32,54 @@
 
 use std::time::{Duration, Instant};
 
-use crate::analyses::{self, LockEdge};
+use crate::analyses::{self, GuardedCall, LockEdge};
 use crate::lexer::{lex, Lexed, TokKind, Token};
 use crate::lint::{Finding, LintId};
-use crate::parser::parse;
+use crate::parser::{parse, Ast};
 use crate::policy::{lints_for, FileContext};
 
+/// Lints that only resolve once the whole workspace is assembled: the
+/// crate-wide lock graph, plus the four call-graph analyses. Their
+/// suppression directives stay pending through phase one.
+pub const WORKSPACE_LINTS: [LintId; 5] = [
+    LintId::LockOrder,
+    LintId::PanicReachability,
+    LintId::TransitivePurity,
+    LintId::UntrustedSizeTaint,
+    LintId::LockHeldAcrossCall,
+];
+
 /// Everything the workspace scan needs from one file: its resolved
-/// findings plus the lock-order facts that only resolve crate-wide.
+/// findings plus the facts that only resolve workspace-wide.
 #[derive(Clone, Debug, Default)]
 pub struct FileFacts {
-    /// Findings from every lint except lock-order, suppressed and
-    /// sorted.
+    /// Findings from every single-file lint, suppressed and sorted.
     pub findings: Vec<Finding>,
     /// Nested-acquisition edges (outside test regions) for the crate's
     /// lock graph.
     pub lock_edges: Vec<LockEdge>,
-    /// Suppression directives naming `lock-order`, held open until the
-    /// crate graph resolves.
+    /// Calls captured under a live guard (outside test regions), for the
+    /// workspace lock-held-across-call pass.
+    pub guarded_calls: Vec<GuardedCall>,
+    /// The parsed AST, retained when any call-graph lint is active so
+    /// the workspace scan can build the graph without re-parsing.
+    pub ast: Option<Ast>,
+    /// `#[cfg(test)]`/`#[test]` line ranges (graph nodes exclude them).
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Suppression directives naming a workspace lint, held open until
+    /// the workspace phases resolve.
     pub pending: Vec<PendingSuppression>,
     /// Wall-clock cost per stage, for the `--timings` report.
     pub timings: Vec<(&'static str, Duration)>,
 }
 
-/// A `lock-order` suppression awaiting crate-wide resolution.
+/// A workspace-lint suppression awaiting cross-file resolution.
 #[derive(Clone, Debug)]
 pub struct PendingSuppression {
     /// Line of the directive comment.
     pub line: u32,
+    /// The workspace lints the directive names.
+    pub lints: Vec<LintId>,
     /// Whether the directive is `allow-file`.
     pub file_scope: bool,
     /// For line directives: the line a finding must be on to match.
@@ -70,9 +90,9 @@ pub struct PendingSuppression {
 }
 
 impl PendingSuppression {
-    /// Whether this directive covers a lock-order finding on `line`.
-    pub fn covers(&self, line: u32) -> bool {
-        self.file_scope || self.target_line == Some(line)
+    /// Whether this directive covers a `lint` finding on `line`.
+    pub fn covers(&self, lint: LintId, line: u32) -> bool {
+        self.lints.contains(&lint) && (self.file_scope || self.target_line == Some(line))
     }
 }
 
@@ -82,7 +102,14 @@ pub fn unused_pending(p: &PendingSuppression) -> Finding {
     Finding {
         line: p.line,
         lint: LintId::UnusedSuppression,
-        message: "suppression for `lock-order` matches no finding — delete it".to_owned(),
+        message: format!(
+            "suppression for `{}` matches no finding — delete it",
+            p.lints
+                .iter()
+                .map(|l| l.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
     }
 }
 
@@ -97,12 +124,14 @@ pub fn check_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
         .map(|e| (ctx.rel_path.clone(), e.clone()))
         .collect();
     for (_, finding) in analyses::lock_order_findings(&tagged) {
-        if !suppress_pending(&mut facts.pending, finding.line) {
+        if !suppress_pending(&mut facts.pending, LintId::LockOrder, finding.line) {
             facts.findings.push(finding);
         }
     }
+    // The interprocedural lints cannot resolve from one file; only a
+    // directive that names nothing else is knowably unused here.
     for p in &facts.pending {
-        if !p.used {
+        if !p.used && p.lints.iter().all(|&l| l == LintId::LockOrder) {
             facts.findings.push(unused_pending(p));
         }
     }
@@ -110,11 +139,11 @@ pub fn check_source(ctx: &FileContext, src: &str) -> Vec<Finding> {
     facts.findings
 }
 
-/// Marks the first pending suppression covering `line` used; returns
-/// whether one matched.
-pub fn suppress_pending(pending: &mut [PendingSuppression], line: u32) -> bool {
+/// Marks the first pending suppression covering a `lint` finding on
+/// `line` used; returns whether one matched.
+pub fn suppress_pending(pending: &mut [PendingSuppression], lint: LintId, line: u32) -> bool {
     for p in pending.iter_mut() {
-        if p.covers(line) {
+        if p.covers(lint, line) {
             p.used = true;
             return true;
         }
@@ -150,9 +179,24 @@ pub fn check_source_facts(ctx: &FileContext, src: &str) -> FileFacts {
                 | LintId::UnboundedGrowth
                 | LintId::SwallowedResult
                 | LintId::TruncatingCast
+                | LintId::PanicReachability
+                | LintId::TransitivePurity
+                | LintId::UntrustedSizeTaint
+                | LintId::LockHeldAcrossCall
+        )
+    });
+    let graph_lints = active.iter().any(|l| {
+        matches!(
+            l,
+            LintId::PanicReachability
+                | LintId::TransitivePurity
+                | LintId::UntrustedSizeTaint
+                | LintId::LockHeldAcrossCall
         )
     });
     let mut lock_edges = Vec::new();
+    let mut guarded_calls = Vec::new();
+    let mut kept_ast = None;
     if needs_ast {
         let t0 = Instant::now();
         let ast = parse(&lexed);
@@ -164,7 +208,15 @@ pub fn check_source_facts(ctx: &FileContext, src: &str) -> FileFacts {
             .into_iter()
             .filter(|e| !in_test(e.line))
             .collect();
+        guarded_calls = out
+            .guarded_calls
+            .into_iter()
+            .filter(|c| !in_test(c.line))
+            .collect();
         timings.extend(out.timings);
+        if graph_lints {
+            kept_ast = Some(ast);
+        }
     }
 
     // Apply suppressions to suppressible findings.
@@ -183,13 +235,20 @@ pub fn check_source_facts(ctx: &FileContext, src: &str) -> FileFacts {
         true
     });
 
-    // Directives naming lock-order stay pending — their findings only
-    // materialize once the crate's whole lock graph is assembled.
+    // Directives naming a workspace lint stay pending — their findings
+    // only materialize once the workspace phases run.
     let mut pending = Vec::new();
     for d in &directives {
-        if d.lints.contains(&LintId::LockOrder) {
+        let workspace_named: Vec<LintId> = d
+            .lints
+            .iter()
+            .copied()
+            .filter(|l| WORKSPACE_LINTS.contains(l))
+            .collect();
+        if !workspace_named.is_empty() {
             pending.push(PendingSuppression {
                 line: d.line,
+                lints: workspace_named,
                 file_scope: d.file_scope,
                 target_line: d.target_line,
                 used: d.used,
@@ -214,6 +273,9 @@ pub fn check_source_facts(ctx: &FileContext, src: &str) -> FileFacts {
     FileFacts {
         findings,
         lock_edges,
+        guarded_calls,
+        ast: kept_ast,
+        test_ranges,
         pending,
         timings,
     }
@@ -586,12 +648,18 @@ fn scan_lint(
             }
         }
         // The v2 structural analyses run on the AST (see
-        // `crate::analyses`), not the token stream.
+        // `crate::analyses`), and the v3 interprocedural analyses on the
+        // workspace call graph (`crate::interproc`) — not the token
+        // stream.
         LintId::LockOrder
         | LintId::BlockingUnderLock
         | LintId::UnboundedGrowth
         | LintId::SwallowedResult
         | LintId::TruncatingCast
+        | LintId::PanicReachability
+        | LintId::TransitivePurity
+        | LintId::UntrustedSizeTaint
+        | LintId::LockHeldAcrossCall
         | LintId::BadSuppression
         | LintId::UnusedSuppression => {}
     }

@@ -23,6 +23,8 @@ usage: jouppi-lint [OPTIONS] [FILES...]
                      as stale until the baseline is regenerated
   --write-baseline   capture the current findings into --baseline FILE
   --timings          per-analysis wall-clock cost on stderr
+  --budget-ms N      fail (exit 1) when the scan's total analysis time
+                     exceeds N milliseconds — CI's cost ratchet
   --list             print the lint catalog and exit
   --help             show this message
 
@@ -58,6 +60,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
     let mut baseline_path: Option<String> = None;
     let mut write_baseline = false;
     let mut want_timings = false;
+    let mut budget_ms: Option<u64> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -69,6 +72,11 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
             },
             "--write-baseline" => write_baseline = true,
             "--timings" => want_timings = true,
+            "--budget-ms" => match args.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(ms)) => budget_ms = Some(ms),
+                Some(Err(_)) => return error("--budget-ms needs a whole number of milliseconds"),
+                None => return error("--budget-ms needs a whole number of milliseconds"),
+            },
             "--list" => {
                 return CliResult {
                     stdout: report::catalog(),
@@ -125,6 +133,17 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
     if want_timings {
         stderr.push_str(&report::timings(&result));
     }
+    let mut over_budget = false;
+    if let Some(budget) = budget_ms {
+        let total: std::time::Duration = result.timings.iter().map(|(_, d)| *d).sum();
+        let total_ms = total.as_secs_f64() * 1e3;
+        if total_ms > budget as f64 {
+            over_budget = true;
+            stderr.push_str(&format!(
+                "jouppi-lint: analysis took {total_ms:.1}ms, over the {budget}ms budget\n"
+            ));
+        }
+    }
 
     if let Some(rel) = baseline_path {
         let path = root.join(&rel);
@@ -137,7 +156,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
                         result.total_findings()
                     ),
                     stderr,
-                    code: 0,
+                    code: u8::from(over_budget),
                 },
                 Err(e) => error(format!("cannot write baseline {}: {e}", path.display())),
             };
@@ -164,7 +183,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
         return CliResult {
             stdout,
             stderr,
-            code: u8::from(!ratchet.is_ok()),
+            code: u8::from(!ratchet.is_ok() || over_budget),
         };
     }
 
@@ -176,7 +195,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> CliResult {
     CliResult {
         stdout,
         stderr,
-        code: u8::from(!result.is_clean()),
+        code: u8::from(!result.is_clean() || over_budget),
     }
 }
 
@@ -211,6 +230,22 @@ mod tests {
         assert_eq!(run(args(&["--frobnicate"])).code, 2);
         assert_eq!(run(args(&["--root"])).code, 2);
         assert_eq!(run(args(&["--workspace", "src/lib.rs"])).code, 2);
+        assert_eq!(run(args(&["--budget-ms"])).code, 2);
+        assert_eq!(run(args(&["--budget-ms", "soon"])).code, 2);
+    }
+
+    #[test]
+    fn budget_gate_fails_only_when_exceeded() {
+        let root = repo_root();
+        let file = "crates/lint/src/lexer.rs";
+        // Any real scan takes more than 0ms.
+        let r = run(args(&["--root", &root, "--budget-ms", "0", file]));
+        assert_eq!(r.code, 1, "stderr: {}", r.stderr);
+        assert!(r.stderr.contains("budget"), "stderr: {}", r.stderr);
+        // A minute covers a one-file scan on any machine.
+        let r = run(args(&["--root", &root, "--budget-ms", "60000", file]));
+        assert_eq!(r.code, 0, "stderr: {}", r.stderr);
+        assert!(r.stderr.is_empty(), "stderr: {}", r.stderr);
     }
 
     #[test]

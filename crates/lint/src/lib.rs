@@ -24,8 +24,16 @@
 //! * [`analyses`] — the structural analyses (lock-order,
 //!   blocking-under-lock, unbounded-growth, swallowed-result,
 //!   truncating-cast) walking the parsed AST;
+//! * [`symbols`] — per-file symbol tables (function declarations with
+//!   impl/module context, flattened `use` imports);
+//! * [`callgraph`] — the conservative workspace call graph and its
+//!   reachability engine (resolved vs. explicitly ambiguous edges);
+//! * [`interproc`] — the four interprocedural analyses riding the graph
+//!   (panic-reachability, transitive purity, untrusted-size taint,
+//!   lock-held-across-call);
 //! * [`workspace`] — deterministic workspace walking, including the
-//!   crate-wide lock-order resolution phase;
+//!   crate-wide lock-order resolution phase and the workspace
+//!   call-graph phase;
 //! * [`baseline`] — the `lint-baseline.json` ratchet (grandfathered
 //!   findings may only shrink);
 //! * [`report`] — human `file:line` output, the `--json` document, and
@@ -59,13 +67,16 @@
 
 pub mod analyses;
 pub mod baseline;
+pub mod callgraph;
 pub mod check;
 pub mod cli;
+pub mod interproc;
 pub mod lexer;
 pub mod lint;
 pub mod parser;
 pub mod policy;
 pub mod report;
+pub mod symbols;
 pub mod workspace;
 
 pub use check::check_source;

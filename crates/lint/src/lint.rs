@@ -38,6 +38,19 @@ pub enum LintId {
     /// An `as` cast to a narrower integer type on a computed value
     /// feeding counters or JSON results.
     TruncatingCast,
+    /// An undocumented panic site (`panic!`-family macro or bare
+    /// `.unwrap()`) transitively reachable from a serve request-handling
+    /// entrypoint.
+    PanicReachability,
+    /// An ambient time/RNG/env/filesystem/default-hasher source
+    /// transitively reachable from the cache-keyed simulate path.
+    TransitivePurity,
+    /// A request-derived integer flowing into `with_capacity`/`reserve`/
+    /// `vec![_; n]` without a bounds check, across call edges.
+    UntrustedSizeTaint,
+    /// A call made while a lock guard is live whose callee (transitively)
+    /// blocks.
+    LockHeldAcrossCall,
     /// A malformed suppression directive (unknown lint, missing reason).
     BadSuppression,
     /// A suppression directive that matched no finding.
@@ -45,7 +58,7 @@ pub enum LintId {
 }
 
 /// Every catalog entry, in reporting order.
-pub const ALL_LINTS: [LintId; 14] = [
+pub const ALL_LINTS: [LintId; 18] = [
     LintId::AmbientTime,
     LintId::AmbientRng,
     LintId::DefaultHasher,
@@ -58,6 +71,10 @@ pub const ALL_LINTS: [LintId; 14] = [
     LintId::UnboundedGrowth,
     LintId::SwallowedResult,
     LintId::TruncatingCast,
+    LintId::PanicReachability,
+    LintId::TransitivePurity,
+    LintId::UntrustedSizeTaint,
+    LintId::LockHeldAcrossCall,
     LintId::BadSuppression,
     LintId::UnusedSuppression,
 ];
@@ -78,6 +95,10 @@ impl LintId {
             LintId::UnboundedGrowth => "unbounded-growth",
             LintId::SwallowedResult => "swallowed-result",
             LintId::TruncatingCast => "truncating-cast",
+            LintId::PanicReachability => "panic-reachability",
+            LintId::TransitivePurity => "transitive-purity",
+            LintId::UntrustedSizeTaint => "untrusted-size-taint",
+            LintId::LockHeldAcrossCall => "lock-held-across-call",
             LintId::BadSuppression => "bad-suppression",
             LintId::UnusedSuppression => "unused-suppression",
         }
@@ -140,6 +161,25 @@ impl LintId {
                 "no `as` cast to a narrower integer on computed values that feed /metrics \
                  counters or JSON results — use try_from so overflow is an error, not a \
                  silent wrap"
+            }
+            LintId::PanicReachability => {
+                "no undocumented panic site — panic!-family macro or bare .unwrap() — \
+                 transitively reachable from a serve request-handling entrypoint; \
+                 .expect(\"invariant\") documents a checked contract and is accepted"
+            }
+            LintId::TransitivePurity => {
+                "no ambient time/RNG/env/filesystem/default-hasher source transitively \
+                 reachable from the cache-keyed simulate path — the result cache memoizes \
+                 on (organization, workload, scale, seed) alone"
+            }
+            LintId::UntrustedSizeTaint => {
+                "request-derived integers must be bounds-checked before flowing into \
+                 with_capacity/reserve/vec![_; n] — an attacker-chosen length is an \
+                 allocation-size DoS, across call edges too"
+            }
+            LintId::LockHeldAcrossCall => {
+                "no call to a (transitively) blocking function while a lock guard is live \
+                 — the callee's recv/join/sleep convoys every thread behind the lock"
             }
             LintId::BadSuppression => {
                 "suppression directives must name a known lint and carry a non-empty reason"

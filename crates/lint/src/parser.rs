@@ -109,11 +109,44 @@ pub enum Item {
     Struct(StructItem),
     /// A `static` or `const` with its type and initializer.
     Static(StaticItem),
+    /// One import flattened out of a `use` tree.
+    Use(UseItem),
     /// An `impl`/`trait`/`mod` block: a transparent container of items.
     Container {
+        /// What kind of container this is.
+        kind: ContainerKind,
+        /// The container's name: the `impl` block's self-type (last
+        /// segment of the final type path), or the `trait`/`mod` name.
+        name: String,
         /// The items inside the container.
         items: Vec<Item>,
     },
+}
+
+/// What kind of item container a [`Item::Container`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContainerKind {
+    /// An `impl` block (inherent or trait impl).
+    Impl,
+    /// A `trait` definition.
+    Trait,
+    /// An inline `mod` block.
+    Mod,
+}
+
+/// One import produced by flattening a `use` tree: `use a::{b, c as d};`
+/// yields two [`UseItem`]s.
+#[derive(Clone, Debug)]
+pub struct UseItem {
+    /// Full path segments (`["crate", "json", "Json"]`).
+    pub path: Vec<String>,
+    /// The name the import binds locally: the last path segment, or the
+    /// `as` alias. Empty for glob imports.
+    pub alias: String,
+    /// Whether this is a `::*` glob import.
+    pub glob: bool,
+    /// Line of the `use` keyword.
+    pub line: u32,
 }
 
 /// A function item.
@@ -123,6 +156,11 @@ pub struct FnItem {
     pub name: String,
     /// Line of the `fn` keyword.
     pub line: u32,
+    /// Parameter names in declaration order (`self` excluded; the first
+    /// bound identifier of each pattern parameter).
+    pub params: Vec<String>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
     /// The body; `None` for bodyless trait-method declarations.
     pub body: Option<Block>,
 }
@@ -312,6 +350,7 @@ impl Stmt {
             Stmt::Item(Item::Fn(f)) => f.line,
             Stmt::Item(Item::Struct(s)) => s.line,
             Stmt::Item(Item::Static(s)) => s.line,
+            Stmt::Item(Item::Use(u)) => u.line,
             Stmt::Item(Item::Container { .. }) => 0,
         }
     }
@@ -507,20 +546,21 @@ impl<'a> P<'a> {
                     }
                 }
                 Some("impl" | "trait") => {
-                    self.skip_to_body_open();
-                    if self.eat_punct('{') {
-                        let inner = self.items(true);
-                        self.eat_punct('}');
-                        items.push(Item::Container { items: inner });
+                    if let Some(c) = self.container() {
+                        items.push(c);
                     }
                 }
                 Some("mod") => {
                     self.bump();
-                    self.bump(); // name
+                    let name = self.bump().and_then(Token::ident).unwrap_or("?").to_owned();
                     if self.eat_punct('{') {
                         let inner = self.items(true);
                         self.eat_punct('}');
-                        items.push(Item::Container { items: inner });
+                        items.push(Item::Container {
+                            kind: ContainerKind::Mod,
+                            name,
+                            items: inner,
+                        });
                     } else {
                         self.eat_punct(';');
                     }
@@ -533,7 +573,12 @@ impl<'a> P<'a> {
                         self.eat_punct(';');
                     }
                 }
-                Some("use" | "type") => self.skip_past(';'),
+                Some("use") => {
+                    for u in self.use_item() {
+                        items.push(Item::Use(u));
+                    }
+                }
+                Some("type") => self.skip_past(';'),
                 Some("macro_rules") => {
                     self.bump();
                     self.eat_punct('!');
@@ -634,6 +679,169 @@ impl<'a> P<'a> {
         }
     }
 
+    /// Parses an `impl`/`trait` container with its kind and name (the
+    /// `impl` keyword is next). Returns `None` when no body follows.
+    fn container(&mut self) -> Option<Item> {
+        let is_impl = self.at_ident("impl");
+        self.bump(); // `impl` / `trait`
+        let (kind, name) = if is_impl {
+            if self.at_punct('<') {
+                self.skip_generics();
+            }
+            (ContainerKind::Impl, self.impl_self_type())
+        } else {
+            let name = self.peek().and_then(Token::ident).unwrap_or("?").to_owned();
+            (ContainerKind::Trait, name)
+        };
+        self.skip_to_body_open();
+        if self.eat_punct('{') {
+            let inner = self.items(true);
+            self.eat_punct('}');
+            Some(Item::Container {
+                kind,
+                name,
+                items: inner,
+            })
+        } else {
+            self.eat_punct(';');
+            None
+        }
+    }
+
+    /// Scans ahead (without consuming) to the impl body's `{`/`;` and
+    /// returns the self-type name: the last angle-depth-0 identifier of
+    /// the final type path. `for` resets the candidate (so `impl Trait
+    /// for Type` yields `Type`), `where` stops the scan, and type-syntax
+    /// keywords are skipped.
+    fn impl_self_type(&self) -> String {
+        let mut angle = 0i32;
+        let mut round = 0i32;
+        let mut square = 0i32;
+        let mut name = String::from("?");
+        let mut k = self.i;
+        while let Some(tok) = self.t.get(k) {
+            match &tok.kind {
+                TokKind::Punct('{') | TokKind::Punct(';')
+                    if angle <= 0 && round == 0 && square == 0 =>
+                {
+                    break;
+                }
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') if !self.is_arrow_tail(k) => angle -= 1,
+                TokKind::Punct('(') => round += 1,
+                TokKind::Punct(')') => round -= 1,
+                TokKind::Punct('[') => square += 1,
+                TokKind::Punct(']') => square -= 1,
+                TokKind::Ident(word) if angle <= 0 && round == 0 && square == 0 => {
+                    match word.as_str() {
+                        "where" => break,
+                        "for" => name = String::from("?"),
+                        "dyn" | "mut" | "const" | "unsafe" | "crate" | "self" | "super" => {}
+                        _ => name.clone_from(word),
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        name
+    }
+
+    /// Parses a `use` item (the `use` keyword is next) into its
+    /// flattened imports, consuming through the terminating `;`.
+    fn use_item(&mut self) -> Vec<UseItem> {
+        let line = self.line();
+        self.eat_ident("use");
+        let mut out = Vec::new();
+        self.use_tree(Vec::new(), line, &mut out);
+        self.eat_punct(';');
+        out
+    }
+
+    /// Parses one branch of a `use` tree starting from `prefix`,
+    /// stopping (unconsumed) at `,` / `}` / `;`.
+    fn use_tree(&mut self, prefix: Vec<String>, line: u32, out: &mut Vec<UseItem>) {
+        let mut path = prefix;
+        let start_len = path.len();
+        loop {
+            let Some(tok) = self.peek() else { break };
+            match &tok.kind {
+                TokKind::Punct(';' | ',' | '}') => break,
+                TokKind::Punct('*') => {
+                    self.bump();
+                    out.push(UseItem {
+                        path,
+                        alias: String::new(),
+                        glob: true,
+                        line,
+                    });
+                    return;
+                }
+                TokKind::Punct('{') => {
+                    self.bump();
+                    while let Some(t) = self.peek() {
+                        if t.is_punct('}') {
+                            self.bump();
+                            break;
+                        }
+                        if t.is_punct(',') {
+                            self.bump();
+                            continue;
+                        }
+                        if t.is_punct(';') {
+                            // Unbalanced tree; let the caller's `;` eat it.
+                            break;
+                        }
+                        let before = self.i;
+                        self.use_tree(path.clone(), line, out);
+                        if self.i == before {
+                            self.bump();
+                        }
+                    }
+                    return;
+                }
+                TokKind::Ident(word) if word == "as" => {
+                    self.bump();
+                    let alias = self.bump().and_then(Token::ident).unwrap_or("_").to_owned();
+                    out.push(UseItem {
+                        path,
+                        alias,
+                        glob: false,
+                        line,
+                    });
+                    return;
+                }
+                TokKind::Ident(word) => {
+                    path.push(word.clone());
+                    self.bump();
+                }
+                TokKind::Punct(':') => {
+                    self.bump();
+                }
+                _ => {
+                    // Unknown token in a use tree: consume and bail.
+                    self.bump();
+                    break;
+                }
+            }
+        }
+        if path.len() > start_len {
+            // `use a::{self, b}` binds `a` itself for the `self` leaf.
+            if path.last().is_some_and(|s| s == "self") {
+                path.pop();
+            }
+            if let Some(last) = path.last() {
+                let alias = last.clone();
+                out.push(UseItem {
+                    path,
+                    alias,
+                    glob: false,
+                    line,
+                });
+            }
+        }
+    }
+
     fn fn_item(&mut self) -> FnItem {
         let line = self.line();
         self.eat_ident("fn");
@@ -641,9 +849,11 @@ impl<'a> P<'a> {
         if self.at_punct('<') {
             self.skip_generics();
         }
-        if self.at_punct('(') {
-            self.skip_balanced('(', ')');
-        }
+        let (params, has_self) = if self.at_punct('(') {
+            self.fn_params()
+        } else {
+            (Vec::new(), false)
+        };
         self.skip_to_body_open();
         let body = if self.at_punct('{') {
             Some(self.block())
@@ -651,7 +861,87 @@ impl<'a> P<'a> {
             self.eat_punct(';');
             None
         };
-        FnItem { name, line, body }
+        FnItem {
+            name,
+            line,
+            params,
+            has_self,
+            body,
+        }
+    }
+
+    /// Parses a parameter list (the `(` is next) into parameter names:
+    /// the first bound identifier of each parameter's pattern. Returns
+    /// the names and whether the list starts with a `self` receiver.
+    fn fn_params(&mut self) -> (Vec<String>, bool) {
+        self.eat_punct('(');
+        let mut params = Vec::new();
+        let mut has_self = false;
+        let mut first = true;
+        loop {
+            if self.at_punct(')') || self.peek().is_none() {
+                self.eat_punct(')');
+                break;
+            }
+            let before = self.i;
+            let name = self.param_pattern_name();
+            if self.eat_punct(':') {
+                self.type_words_until(&[',', ')']);
+            }
+            self.eat_punct(',');
+            match name {
+                Some(n) if first && n == "self" => has_self = true,
+                Some(n) => params.push(n),
+                None => {}
+            }
+            first = false;
+            if self.i == before {
+                self.bump();
+            }
+        }
+        (params, has_self)
+    }
+
+    /// Scans one parameter's pattern up to its `:` / `,` / `)` at depth
+    /// 0 (stop unconsumed) and returns the first identifier it binds
+    /// (`mut`/`ref` and `_` excluded).
+    fn param_pattern_name(&mut self) -> Option<String> {
+        let mut round = 0i32;
+        let mut square = 0i32;
+        let mut curly = 0i32;
+        let mut name = None;
+        while let Some(tok) = self.peek() {
+            if round == 0 && square == 0 && curly == 0 {
+                if let TokKind::Punct(c) = tok.kind {
+                    if matches!(c, ':' | ',' | ')') {
+                        break;
+                    }
+                }
+            }
+            match &tok.kind {
+                TokKind::Punct('(') => round += 1,
+                TokKind::Punct(')') => round -= 1,
+                TokKind::Punct('[') => square += 1,
+                TokKind::Punct(']') => square -= 1,
+                TokKind::Punct('{') => curly += 1,
+                TokKind::Punct('}') => curly -= 1,
+                TokKind::Ident(word) => {
+                    let lower = word
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_');
+                    if name.is_none()
+                        && lower
+                        && !matches!(word.as_str(), "mut" | "ref" | "box" | "_" | "dyn")
+                    {
+                        name = Some(word.clone());
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        name
     }
 
     /// Skips a `<…>` generics list, arrow-aware.
@@ -842,22 +1132,18 @@ impl<'a> P<'a> {
             return Vec::new();
         };
         match tok.ident() {
-            Some("impl" | "trait") => {
-                self.skip_to_body_open();
-                if self.eat_punct('{') {
-                    let inner = self.items(true);
-                    self.eat_punct('}');
-                    return vec![Item::Container { items: inner }];
-                }
-                Vec::new()
-            }
+            Some("impl" | "trait") => self.container().into_iter().collect(),
             Some("mod") => {
                 self.bump();
-                self.bump();
+                let name = self.bump().and_then(Token::ident).unwrap_or("?").to_owned();
                 if self.eat_punct('{') {
                     let inner = self.items(true);
                     self.eat_punct('}');
-                    return vec![Item::Container { items: inner }];
+                    return vec![Item::Container {
+                        kind: ContainerKind::Mod,
+                        name,
+                        items: inner,
+                    }];
                 }
                 self.eat_punct(';');
                 Vec::new()

@@ -15,9 +15,16 @@
 //!
 //! `forbid-unsafe` applies to every crate root; `debug-print`,
 //! `lock-order`, `blocking-under-lock`, and `swallowed-result` apply to
-//! all non-test code everywhere. Files under a `tests/` directory and
-//! `#[cfg(test)]` regions are exempt from everything — tests may unwrap,
-//! print, and block freely.
+//! all non-test code everywhere, and the four interprocedural lints
+//! (`panic-reachability`, `transitive-purity`, `untrusted-size-taint`,
+//! `lock-held-across-call`) to every non-test file — their findings
+//! land wherever the offending function is declared.
+//!
+//! Files under `tests/` and `examples/` directories (and `#[cfg(test)]`
+//! regions) run under a **relaxed policy**: they may unwrap, print, and
+//! block freely, but in simulation crates the determinism lints
+//! (ambient-time/rng/default-hasher) still apply — a test that asserts
+//! on wall-clock time or unseeded randomness is flaky by construction.
 
 use crate::lint::LintId;
 
@@ -30,10 +37,13 @@ pub struct FileContext {
     /// umbrella crate at the workspace root.
     pub crate_name: String,
     /// Whether the file lives under a `tests/` directory (integration
-    /// tests: exempt from all lints).
+    /// tests: relaxed policy).
     pub is_test_file: bool,
-    /// Whether the file is part of a binary target (`main.rs` or under
-    /// `src/bin/`).
+    /// Whether the file lives under an `examples/` directory (relaxed
+    /// policy, bin-like).
+    pub is_example: bool,
+    /// Whether the file is part of a binary target (`main.rs`, under
+    /// `src/bin/`, or an example).
     pub is_bin: bool,
     /// Whether the file is a crate root (`lib.rs`, `main.rs`, or a
     /// direct child of `src/bin/`).
@@ -53,8 +63,7 @@ const SIM_CRATES: [&str; 7] = [
 ];
 
 /// Classifies a workspace-relative path. Returns `None` for paths the
-/// linter does not cover (examples, benches, non-Rust files, build
-/// output).
+/// linter does not cover (benches, non-Rust files, build output).
 pub fn classify(rel_path: &str) -> Option<FileContext> {
     if !rel_path.ends_with(".rs") {
         return None;
@@ -62,37 +71,43 @@ pub fn classify(rel_path: &str) -> Option<FileContext> {
     let parts: Vec<&str> = rel_path.split('/').collect();
     let (crate_name, rest): (String, &[&str]) = match parts.as_slice() {
         ["crates", name, rest @ ..] => ((*name).to_owned(), rest),
-        ["src" | "tests", ..] => ("jouppi".to_owned(), &parts[..]),
+        ["src" | "tests" | "examples", ..] => ("jouppi".to_owned(), &parts[..]),
         _ => return None,
     };
-    let (is_test_file, in_src, tail): (bool, bool, &[&str]) = match rest {
-        ["src", tail @ ..] => (false, true, tail),
-        ["tests", tail @ ..] => (true, false, tail),
+    let (is_test_file, is_example, in_src, tail): (bool, bool, bool, &[&str]) = match rest {
+        ["src", tail @ ..] => (false, false, true, tail),
+        ["tests", tail @ ..] => (true, false, false, tail),
+        ["examples", tail @ ..] => (false, true, false, tail),
         _ => return None,
     };
-    let is_bin = in_src && (tail == ["main.rs"] || tail.first() == Some(&"bin"));
+    let is_bin = is_example || (in_src && (tail == ["main.rs"] || tail.first() == Some(&"bin")));
     let is_crate_root = in_src
         && (tail == ["lib.rs"] || tail == ["main.rs"] || (tail.len() == 2 && tail[0] == "bin"));
     Some(FileContext {
         rel_path: rel_path.to_owned(),
         crate_name,
         is_test_file,
+        is_example,
         is_bin,
         is_crate_root,
     })
 }
 
-/// The lints active for a file. Empty for test files; the caller also
-/// skips `#[cfg(test)]` regions within non-test files.
+/// The lints active for a file. Test and example files run the relaxed
+/// policy (determinism lints only, in simulation crates); the caller
+/// also skips `#[cfg(test)]` regions within non-test files.
 pub fn lints_for(ctx: &FileContext) -> Vec<LintId> {
-    if ctx.is_test_file {
-        return Vec::new();
-    }
     let mut lints = Vec::new();
     if SIM_CRATES.contains(&ctx.crate_name.as_str()) {
         lints.push(LintId::AmbientTime);
         lints.push(LintId::AmbientRng);
         lints.push(LintId::DefaultHasher);
+    }
+    if ctx.is_test_file || ctx.is_example {
+        // Relaxed policy: panics, printing, and blocking are fine in
+        // tests and examples; flaky-by-construction ambient inputs in
+        // simulation crates are not.
+        return lints;
     }
     if ctx.crate_name == "serve" {
         lints.push(LintId::ServePanic);
@@ -121,6 +136,13 @@ pub fn lints_for(ctx: &FileContext) -> Vec<LintId> {
     ) {
         lints.push(LintId::TruncatingCast);
     }
+    // v3 interprocedural analyses: active everywhere — reachability is
+    // decided by the workspace call graph, so findings land wherever
+    // the offending function is declared, in any crate.
+    lints.push(LintId::PanicReachability);
+    lints.push(LintId::TransitivePurity);
+    lints.push(LintId::UntrustedSizeTaint);
+    lints.push(LintId::LockHeldAcrossCall);
     lints
 }
 
@@ -153,7 +175,15 @@ mod tests {
         let root_test = classify("tests/paper_claims.rs").expect("root test");
         assert!(root_test.is_test_file);
 
-        assert!(classify("examples/quickstart.rs").is_none());
+        let root_example = classify("examples/quickstart.rs").expect("root example");
+        assert_eq!(root_example.crate_name, "jouppi");
+        assert!(root_example.is_example && root_example.is_bin);
+
+        let crate_example =
+            classify("crates/workloads/examples/calibrate.rs").expect("crate example");
+        assert_eq!(crate_example.crate_name, "workloads");
+        assert!(crate_example.is_example && !crate_example.is_test_file);
+
         assert!(classify("crates/cache/benches/x.rs").is_none());
         assert!(classify("README.md").is_none());
     }
@@ -175,9 +205,6 @@ mod tests {
         let exp = classify("crates/experiments/src/sweep.rs").expect("experiments");
         assert!(lints_for(&exp).contains(&LintId::RelaxedOrdering));
 
-        let test = classify("crates/cache/tests/lru_backends.rs").expect("test");
-        assert!(lints_for(&test).is_empty());
-
         let report = classify("crates/report/src/table.rs").expect("report");
         let lints = lints_for(&report);
         assert_eq!(
@@ -188,8 +215,43 @@ mod tests {
                 LintId::BlockingUnderLock,
                 LintId::SwallowedResult,
                 LintId::TruncatingCast,
+                LintId::PanicReachability,
+                LintId::TransitivePurity,
+                LintId::UntrustedSizeTaint,
+                LintId::LockHeldAcrossCall,
             ]
         );
+    }
+
+    #[test]
+    fn relaxed_policy_for_tests_and_examples() {
+        // Sim-crate tests/examples: determinism lints only — no panic,
+        // print, blocking, or interprocedural lints.
+        let sim_test = classify("crates/cache/tests/lru_backends.rs").expect("test");
+        assert_eq!(
+            lints_for(&sim_test),
+            vec![
+                LintId::AmbientTime,
+                LintId::AmbientRng,
+                LintId::DefaultHasher,
+            ]
+        );
+        let sim_example = classify("crates/workloads/examples/calibrate.rs").expect("example");
+        assert_eq!(
+            lints_for(&sim_example),
+            vec![
+                LintId::AmbientTime,
+                LintId::AmbientRng,
+                LintId::DefaultHasher,
+            ]
+        );
+        // Non-sim tests (serve, the lint crate's own fixtures): nothing
+        // applies — intentionally-bad fixture files must not lint.
+        let serve_test = classify("crates/serve/tests/integration.rs").expect("test");
+        assert!(lints_for(&serve_test).is_empty());
+        let fixture = classify("crates/lint/tests/fixtures/bad/ambient_time.rs").expect("fixture");
+        assert!(fixture.is_test_file);
+        assert!(lints_for(&fixture).is_empty());
     }
 
     #[test]

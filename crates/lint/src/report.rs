@@ -70,8 +70,9 @@ pub fn human(result: &ScanResult, baseline: Option<&BaselineStatus<'_>>) -> Stri
     out
 }
 
-/// Machine-readable report document (version 2: adds the optional
-/// `baseline` section and the v2 analysis catalog).
+/// Machine-readable report document (version 3: adds the `callgraph`
+/// section sizing the workspace call graph behind the interprocedural
+/// analyses).
 pub fn to_json(result: &ScanResult, baseline: Option<&BaselineStatus<'_>>) -> Json {
     let findings: Vec<Json> = result
         .findings()
@@ -86,7 +87,7 @@ pub fn to_json(result: &ScanResult, baseline: Option<&BaselineStatus<'_>>) -> Js
         .collect();
     let mut fields = vec![
         ("tool".to_owned(), Json::str("jouppi-lint")),
-        ("version".to_owned(), Json::Int(2)),
+        ("version".to_owned(), Json::Int(3)),
         (
             "files_scanned".to_owned(),
             Json::Int(result.files_scanned() as i64),
@@ -94,6 +95,17 @@ pub fn to_json(result: &ScanResult, baseline: Option<&BaselineStatus<'_>>) -> Js
         ("findings".to_owned(), Json::Arr(findings)),
         ("clean".to_owned(), Json::Bool(result.is_clean())),
     ];
+    if let Some(g) = result.callgraph {
+        fields.push((
+            "callgraph".to_owned(),
+            Json::obj([
+                ("nodes", Json::Int(g.nodes as i64)),
+                ("resolved_edges", Json::Int(g.resolved_edges as i64)),
+                ("ambiguous_edges", Json::Int(g.ambiguous_edges as i64)),
+                ("external_calls", Json::Int(g.external_calls as i64)),
+            ]),
+        ));
+    }
     if let Some(b) = baseline {
         let entry = |(file, lint, base, now): &(String, String, u64, u64)| {
             Json::obj([
@@ -152,7 +164,7 @@ pub fn catalog() -> String {
 mod tests {
     use super::*;
     use crate::lint::{Finding, LintId};
-    use crate::workspace::FileReport;
+    use crate::workspace::{CallGraphStats, FileReport};
 
     fn sample() -> ScanResult {
         ScanResult {
@@ -171,6 +183,12 @@ mod tests {
                 },
             ],
             timings: Vec::new(),
+            callgraph: Some(CallGraphStats {
+                nodes: 12,
+                resolved_edges: 30,
+                ambiguous_edges: 2,
+                external_calls: 9,
+            }),
         }
     }
 
@@ -185,6 +203,7 @@ mod tests {
                 findings: Vec::new(),
             }],
             timings: Vec::new(),
+            callgraph: None,
         };
         assert!(human(&clean, None).contains("clean — 1 files, 0 findings"));
     }
@@ -194,7 +213,7 @@ mod tests {
         let doc = to_json(&sample(), None);
         let parsed = Json::parse(&doc.encode()).expect("valid JSON");
         assert_eq!(parsed.get("clean"), Some(&Json::Bool(false)));
-        assert_eq!(parsed.get("version"), Some(&Json::Int(2)));
+        assert_eq!(parsed.get("version"), Some(&Json::Int(3)));
         assert_eq!(parsed.get("files_scanned"), Some(&Json::Int(2)));
         assert!(parsed.get("baseline").is_none());
         let findings = parsed
@@ -204,6 +223,11 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].get("line"), Some(&Json::Int(7)));
         assert_eq!(findings[0].get("lint"), Some(&Json::str("ambient-time")));
+        let g = parsed.get("callgraph").expect("callgraph section");
+        assert_eq!(g.get("nodes"), Some(&Json::Int(12)));
+        assert_eq!(g.get("resolved_edges"), Some(&Json::Int(30)));
+        assert_eq!(g.get("ambiguous_edges"), Some(&Json::Int(2)));
+        assert_eq!(g.get("external_calls"), Some(&Json::Int(9)));
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! Workspace discovery and the full-tree scan.
 //!
-//! The scan runs in two phases. Phase one checks each file
+//! The scan runs in three phases. Phase one checks each file
 //! independently ([`crate::check::check_source_facts`]), collecting
-//! findings plus each file's lock-acquisition edges and pending
-//! `lock-order` suppressions. Phase two assembles the edges into one
-//! graph *per crate* (lock identities are textual — `self.inner` in two
-//! crates is two different locks), reports every edge that participates
-//! in a cycle, routes those findings back to the files that produced the
-//! edges, and settles the pending suppressions.
+//! findings plus each file's cross-file facts: lock-acquisition edges,
+//! calls captured under live guards, the parsed AST, and pending
+//! workspace-lint suppressions. Phase two assembles the lock edges into
+//! one graph *per crate* (lock identities are textual — `self.inner` in
+//! two crates is two different locks) and reports every edge in a cycle.
+//! Phase three builds the **workspace call graph** over the retained
+//! ASTs ([`crate::callgraph`]) and runs the four interprocedural
+//! analyses ([`crate::interproc`]); findings from both phases are routed
+//! back to the declaring files, checked against the pending
+//! suppressions, and the leftover directives become `unused-suppression`
+//! findings.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -15,13 +20,31 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use crate::analyses::{lock_order_findings, LockEdge};
+use crate::analyses::{lock_order_findings, GuardedCall, LockEdge};
+use crate::callgraph::{self, GraphFile};
 use crate::check::{check_source_facts, suppress_pending, unused_pending};
-use crate::lint::Finding;
-use crate::policy::classify;
+use crate::interproc;
+use crate::lint::{Finding, LintId};
+use crate::policy::{classify, lints_for};
 
-/// Directories never descended into.
-const PRUNED_DIRS: [&str; 4] = ["target", ".git", "examples", "node_modules"];
+/// Directories never descended into. `examples/` and `tests/` are
+/// scanned (under the relaxed policy); build output and VCS state are
+/// not.
+const PRUNED_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Size counters of the workspace call graph, surfaced in the JSON
+/// report's `callgraph` section.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CallGraphStats {
+    /// Workspace functions (non-test, non-example).
+    pub nodes: usize,
+    /// Uniquely resolved call edges.
+    pub resolved_edges: usize,
+    /// Multi-candidate name-match edges (surfaced, never traversed).
+    pub ambiguous_edges: usize,
+    /// Call sites resolving outside the workspace (std, mostly).
+    pub external_calls: usize,
+}
 
 /// One scanned file's findings.
 #[derive(Clone, Debug)]
@@ -41,6 +64,9 @@ pub struct ScanResult {
     /// Aggregate wall-clock cost per analysis stage across all files,
     /// sorted by stage name (for `--timings`).
     pub timings: Vec<(&'static str, Duration)>,
+    /// Call-graph size counters (`None` when no file kept an AST — e.g.
+    /// a scan of nothing but test files).
+    pub callgraph: Option<CallGraphStats>,
 }
 
 impl ScanResult {
@@ -104,9 +130,14 @@ pub fn scan_files(root: &Path, rel_paths: &[String]) -> io::Result<ScanResult> {
     let mut result = ScanResult::default();
     let mut timings: BTreeMap<&'static str, Duration> = BTreeMap::new();
     // Phase one: per-file checks; park each file's cross-file facts.
-    // Indices into `result.files` parallel `pendings`; `crate_edges`
-    // tags every edge with the index of the file that produced it.
+    // `pendings`, `contexts`, `asts`, `test_ranges`, and `guarded` are
+    // parallel to `result.files`; `crate_edges` tags every edge with the
+    // index of the file that produced it.
     let mut pendings = Vec::new();
+    let mut contexts = Vec::new();
+    let mut asts = Vec::new();
+    let mut test_ranges = Vec::new();
+    let mut guarded = Vec::new();
     let mut crate_edges: BTreeMap<String, Vec<(usize, LockEdge)>> = BTreeMap::new();
     for rel in rel_paths {
         let Some(ctx) = classify(rel) else {
@@ -123,12 +154,16 @@ pub fn scan_files(root: &Path, rel_paths: &[String]) -> io::Result<ScanResult> {
             .or_default()
             .extend(facts.lock_edges.into_iter().map(|e| (file_index, e)));
         pendings.push(facts.pending);
+        contexts.push(ctx);
+        asts.push(facts.ast);
+        test_ranges.push(facts.test_ranges);
+        guarded.push(facts.guarded_calls);
         result.files.push(FileReport {
             rel_path: rel.clone(),
             findings: facts.findings,
         });
     }
-    // Phase two: resolve lock-order per crate and settle suppressions.
+    // Phase two: resolve lock-order per crate.
     let t0 = Instant::now();
     for edges in crate_edges.values() {
         let tagged: Vec<(String, LockEdge)> = edges
@@ -137,11 +172,57 @@ pub fn scan_files(root: &Path, rel_paths: &[String]) -> io::Result<ScanResult> {
             .collect();
         for (edge_index, finding) in lock_order_findings(&tagged) {
             let file_index = edges[edge_index].0;
-            if !suppress_pending(&mut pendings[file_index], finding.line) {
+            if !suppress_pending(&mut pendings[file_index], finding.lint, finding.line) {
                 result.files[file_index].findings.push(finding);
             }
         }
     }
+    *timings.entry("lock-order-resolve").or_default() += t0.elapsed();
+    // Phase three: the workspace call graph and the interprocedural
+    // analyses, over the ASTs retained in phase one. `to_file` maps a
+    // graph-file index back to its `result.files` index.
+    let t0 = Instant::now();
+    let mut inputs: Vec<GraphFile<'_>> = Vec::new();
+    let mut to_file: Vec<usize> = Vec::new();
+    for (i, ast) in asts.iter().enumerate() {
+        if let Some(ast) = ast {
+            inputs.push(GraphFile {
+                ctx: &contexts[i],
+                ast,
+                test_ranges: &test_ranges[i],
+            });
+            to_file.push(i);
+        }
+    }
+    if !inputs.is_empty() {
+        let graph = callgraph::build(&inputs);
+        result.callgraph = Some(CallGraphStats {
+            nodes: graph.nodes.len(),
+            resolved_edges: graph.resolved_edges,
+            ambiguous_edges: graph.ambiguous_edges,
+            external_calls: graph.external_calls,
+        });
+        *timings.entry("callgraph-build").or_default() += t0.elapsed();
+        let actives: Vec<Vec<LintId>> = to_file.iter().map(|&i| lints_for(&contexts[i])).collect();
+        let guarded_g: Vec<Vec<GuardedCall>> = to_file
+            .iter()
+            .map(|&i| std::mem::take(&mut guarded[i]))
+            .collect();
+        let interproc_out = interproc::run(&graph, &actives, &guarded_g);
+        for (stage, d) in interproc_out.timings {
+            *timings.entry(stage).or_default() += d;
+        }
+        for (gf, finding) in interproc_out.findings {
+            let file_index = to_file[gf];
+            if !suppress_pending(&mut pendings[file_index], finding.lint, finding.line) {
+                result.files[file_index].findings.push(finding);
+            }
+        }
+    } else {
+        *timings.entry("callgraph-build").or_default() += t0.elapsed();
+    }
+    // Settle the pending suppressions: anything still unused is itself a
+    // finding.
     for (file_index, pending) in pendings.iter().enumerate() {
         for p in pending {
             if !p.used {
@@ -152,13 +233,12 @@ pub fn scan_files(root: &Path, rel_paths: &[String]) -> io::Result<ScanResult> {
             .findings
             .sort_by_key(|f| (f.line, f.lint.name()));
     }
-    *timings.entry("lock-order-resolve").or_default() += t0.elapsed();
     result.timings = timings.into_iter().collect();
     Ok(result)
 }
 
-/// Recursively collects `.rs` files, pruning build output and examples;
-/// entries are visited in sorted order so scans are deterministic.
+/// Recursively collects `.rs` files, pruning build output; entries are
+/// visited in sorted order so scans are deterministic.
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .map(|e| e.map(|e| e.path()))
@@ -215,8 +295,16 @@ mod tests {
         };
         assert_eq!(paths(&a), paths(&b));
         assert!(paths(&a).contains(&"crates/lint/src/lexer.rs".to_owned()));
-        // examples/ and target/ are pruned.
-        assert!(!paths(&a).iter().any(|p| p.starts_with("examples/")));
+        // examples/ are scanned (relaxed policy); target/ is pruned.
+        assert!(paths(&a).iter().any(|p| p.starts_with("examples/")));
         assert!(!paths(&a).iter().any(|p| p.starts_with("target/")));
+        // The call graph covers every workspace crate.
+        let stats = a.callgraph.expect("call graph built");
+        assert!(stats.nodes > 100, "nodes: {}", stats.nodes);
+        assert!(
+            stats.resolved_edges > 100,
+            "edges: {}",
+            stats.resolved_edges
+        );
     }
 }

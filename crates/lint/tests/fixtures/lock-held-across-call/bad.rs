@@ -1,0 +1,16 @@
+//! Fixture: a lock guard held across a call whose callee transitively
+//! blocks.
+
+pub fn tick(jobs: &Mutex<u64>, rx: &Receiver<u64>) {
+    let guard = jobs.lock();
+    pump(rx);
+    drop(guard);
+}
+
+fn pump(rx: &Receiver<u64>) {
+    wait_one(rx);
+}
+
+fn wait_one(rx: &Receiver<u64>) {
+    rx.recv();
+}

@@ -1,0 +1,21 @@
+//! Fixture: the guard scope closes before the blocking call; calls made
+//! under the lock reach non-blocking callees only.
+
+pub fn tick(jobs: &Mutex<u64>, rx: &Receiver<u64>) {
+    {
+        let guard = jobs.lock();
+        note(1);
+        drop(guard);
+    }
+    pump(rx);
+}
+
+fn note(count: u64) {}
+
+fn pump(rx: &Receiver<u64>) {
+    wait_one(rx);
+}
+
+fn wait_one(rx: &Receiver<u64>) {
+    rx.recv();
+}

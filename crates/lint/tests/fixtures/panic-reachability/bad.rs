@@ -1,0 +1,14 @@
+//! Fixture: a bare unwrap two calls behind a serve entrypoint.
+
+pub fn lookup() {
+    resolve();
+}
+
+fn resolve() {
+    let found: Option<u32> = table_get();
+    let _value = found.unwrap();
+}
+
+fn table_get() -> Option<u32> {
+    None
+}

@@ -1,0 +1,8 @@
+//! Support file: the serve-side entrypoint that makes the fixture's
+//! panic site reachable.
+
+use jouppi_core::lookup;
+
+pub fn handler() {
+    lookup();
+}

@@ -1,0 +1,14 @@
+//! Fixture: the same lookup path with a documented contract.
+
+pub fn lookup() {
+    resolve();
+}
+
+fn resolve() {
+    let found: Option<u32> = table_get();
+    let _value = found.expect("table_get always returns an entry for seeded keys");
+}
+
+fn table_get() -> Option<u32> {
+    Some(7)
+}

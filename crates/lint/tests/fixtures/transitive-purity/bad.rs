@@ -1,0 +1,7 @@
+//! Fixture: a wall-clock stamp hiding behind a helper on the serve
+//! simulate path.
+
+pub fn stamp() -> u64 {
+    SystemTime::now();
+    0
+}

@@ -1,0 +1,8 @@
+//! Support file: the cache-keyed simulate entrypoint reaching the
+//! fixture's helper.
+
+use jouppi_report::stamp;
+
+pub fn simulate() {
+    stamp();
+}

@@ -1,0 +1,5 @@
+//! Fixture: timestamps flow in as data, not from ambient wall-clock.
+
+pub fn stamp(now_ms: u64) -> u64 {
+    now_ms
+}

@@ -1,0 +1,11 @@
+//! Fixture: a request-chosen length sizes an allocation unchecked.
+
+pub fn simulate(body: &Json) -> Vec<u64> {
+    let rows = get_u64(body, "rows");
+    Vec::with_capacity(rows)
+}
+
+fn get_u64(body: &Json, key: &str) -> usize {
+    body.field(key);
+    0
+}

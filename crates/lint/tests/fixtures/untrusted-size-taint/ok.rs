@@ -1,0 +1,13 @@
+//! Fixture: the request-chosen length is capped before allocating.
+
+const MAX_ROWS: usize = 4096;
+
+pub fn simulate(body: &Json) -> Vec<u64> {
+    let rows = get_u64(body, "rows").min(MAX_ROWS);
+    Vec::with_capacity(rows)
+}
+
+fn get_u64(body: &Json, key: &str) -> usize {
+    body.field(key);
+    0
+}

@@ -12,7 +12,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// (lint, fixture dir, path the fixture occupies in the temp workspace).
-const CASES: [(&str, &str, &str); 14] = [
+const CASES: [(&str, &str, &str); 18] = [
     ("ambient-time", "ambient-time", "crates/core/src/fixture.rs"),
     ("ambient-rng", "ambient-rng", "crates/core/src/fixture.rs"),
     (
@@ -59,6 +59,38 @@ const CASES: [(&str, &str, &str); 14] = [
         "truncating-cast",
         "crates/serve/src/fixture.rs",
     ),
+    (
+        "panic-reachability",
+        "panic-reachability",
+        "crates/core/src/fixture.rs",
+    ),
+    (
+        "transitive-purity",
+        "transitive-purity",
+        "crates/report/src/fixture.rs",
+    ),
+    (
+        "untrusted-size-taint",
+        "untrusted-size-taint",
+        "crates/serve/src/fixture.rs",
+    ),
+    (
+        "lock-held-across-call",
+        "lock-held-across-call",
+        "crates/core/src/fixture.rs",
+    ),
+];
+
+/// Support files materialized alongside a fixture for both its bad and
+/// ok runs — the interprocedural lints fire only when a serve-side
+/// entrypoint in another crate reaches the fixture.
+const SUPPORT: [(&str, &str, &str); 2] = [
+    (
+        "panic-reachability",
+        "entry.rs",
+        "crates/serve/src/entry.rs",
+    ),
+    ("transitive-purity", "entry.rs", "crates/serve/src/entry.rs"),
 ];
 
 fn fixture(dir: &str, name: &str) -> String {
@@ -81,6 +113,18 @@ fn temp_workspace(tag: &str, rel_file: &str, contents: &str) -> PathBuf {
     root
 }
 
+/// Adds the fixture dir's support files (if any) to a temp workspace.
+fn write_support(root: &Path, dir: &str) {
+    for (support_dir, name, rel_file) in SUPPORT {
+        if support_dir != dir {
+            continue;
+        }
+        let file = root.join(rel_file);
+        fs::create_dir_all(file.parent().expect("support path has a parent")).expect("mkdir");
+        fs::write(&file, fixture(dir, name)).expect("write support file");
+    }
+}
+
 fn lint_workspace(root: &Path, json: bool) -> jouppi_lint::cli::CliResult {
     let mut args = vec![
         "--root".to_owned(),
@@ -97,6 +141,7 @@ fn lint_workspace(root: &Path, json: bool) -> jouppi_lint::cli::CliResult {
 fn bad_fixtures_fail_with_the_expected_lint() {
     for (lint, dir, rel_file) in CASES {
         let root = temp_workspace(&format!("bad-{dir}"), rel_file, &fixture(dir, "bad.rs"));
+        write_support(&root, dir);
         let r = lint_workspace(&root, false);
         assert_eq!(
             r.code, 1,
@@ -116,6 +161,7 @@ fn bad_fixtures_fail_with_the_expected_lint() {
 fn ok_fixtures_pass_clean() {
     for (lint, dir, rel_file) in CASES {
         let root = temp_workspace(&format!("ok-{dir}"), rel_file, &fixture(dir, "ok.rs"));
+        write_support(&root, dir);
         let r = lint_workspace(&root, false);
         assert_eq!(
             r.code, 0,

@@ -29,6 +29,13 @@ use crate::json::Json;
 /// Hard cap on `scale` (instructions) for a synchronous simulate call.
 pub const MAX_SIMULATE_SCALE: u64 = 2_000_000;
 
+/// Hard cap on request-chosen buffer entry counts (`victim`,
+/// `miss_cache`, `stream.ways`, `stream.depth`). The paper's
+/// fully-associative buffers top out at 16 entries; 1024 leaves
+/// headroom for design-space exploration while keeping an
+/// attacker-chosen count from sizing an allocation.
+pub const MAX_BUFFER_ENTRIES: usize = 1024;
+
 /// Default `scale` when the request omits it.
 pub const DEFAULT_SIMULATE_SCALE: u64 = 100_000;
 
@@ -84,6 +91,11 @@ pub fn simulate(body: &Json) -> Result<Json, String> {
 
     let victim = get_usize(body, "victim", 0)?;
     let miss_cache = get_usize(body, "miss_cache", 0)?;
+    if victim > MAX_BUFFER_ENTRIES || miss_cache > MAX_BUFFER_ENTRIES {
+        return Err(format!(
+            "'victim' and 'miss_cache' must be at most {MAX_BUFFER_ENTRIES} entries"
+        ));
+    }
     if victim > 0 && miss_cache > 0 {
         return Err("'victim' and 'miss_cache' are mutually exclusive".to_owned());
     }
@@ -101,6 +113,11 @@ pub fn simulate(body: &Json) -> Result<Json, String> {
         let depth = get_usize(stream, "depth", 4)?;
         if ways == 0 || depth == 0 {
             return Err("'stream.ways' and 'stream.depth' must be nonzero".to_owned());
+        }
+        if ways > MAX_BUFFER_ENTRIES || depth > MAX_BUFFER_ENTRIES {
+            return Err(format!(
+                "'stream.ways' and 'stream.depth' must be at most {MAX_BUFFER_ENTRIES}"
+            ));
         }
         let sb = StreamBufferConfig::new(depth);
         cfg = if stride_detect > 0 {
@@ -232,9 +249,19 @@ mod tests {
                 r#"{"workload":"ccom","victim":2,"miss_cache":2}"#,
                 "mutually exclusive",
             ),
+            (r#"{"workload":"ccom","victim":1000000000}"#, "at most"),
+            (r#"{"workload":"ccom","miss_cache":99999}"#, "at most"),
             (
                 r#"{"workload":"ccom","stream":{"ways":0,"depth":4}}"#,
                 "nonzero",
+            ),
+            (
+                r#"{"workload":"ccom","stream":{"ways":4,"depth":1000000000}}"#,
+                "at most",
+            ),
+            (
+                r#"{"workload":"ccom","stream":{"ways":1000000000,"depth":4}}"#,
+                "at most",
             ),
             (r#"{"workload":"ccom","side":"x"}"#, "'side'"),
             (r#"{"workload":"ccom","classify":3}"#, "'classify'"),

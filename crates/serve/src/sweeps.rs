@@ -86,7 +86,7 @@ pub fn run_named(name: &str, cfg: &ExperimentConfig) -> Option<Json> {
 /// catalogs).
 pub fn run_named_engine(name: &str, cfg: &ExperimentConfig, engine: &str) -> Option<Json> {
     let refs_before = refs_simulated() + single_pass_refs();
-    let start = Instant::now();
+    let start = Instant::now(); // jouppi-lint: allow(transitive-purity) — wall-clock feeds only the refs/sec throughput gauge below; the result document never includes it
     let body = match (name, engine) {
         ("fig_3_1", "classify") => fig31_json(&fig_3_1::run(cfg)),
         ("fig_3_1", "single_pass") => fig31_json(&fig_3_1::run_single_pass(cfg)),
